@@ -1,0 +1,160 @@
+"""Ablation — the lossy-flock problem, quantified (Figure 1 / Section 1).
+
+The paper's Figure 1 argument is about *elongated* groups: objects moving
+in a line (a road platoon) are density-connected through neighbour-to-
+neighbour links, but no disc of reasonable radius covers the whole line —
+and a disc large enough to cover it swallows separate nearby groups.
+
+The bench generates platoon-shaped groups (members strung out in a line
+with spacing 0.75·e, so the line is density-connected at e while its ends
+sit several e apart), runs the disc-based flock baseline over a sweep of
+radii, and reports how many of the exact convoys each radius recovers
+completely and how many distinct groups it merges.
+"""
+
+import math
+import random
+
+import pytest
+
+from benchmarks.common import print_report
+from repro import Trajectory, TrajectoryDatabase, cmc, discover_flocks, normalize_convoys
+from repro.bench import format_table
+from repro.datasets.movers import waypoint_positions
+
+EPS = 8.0
+M = 3
+K = 10
+RADIUS_FACTORS = (0.5, 1.0, 2.0, 4.0, 8.0)
+
+
+def build_platoon_database(seed=3, num_groups=6, group_size=5, t_domain=60):
+    """Groups of objects in single-file formation along shared routes."""
+    rng = random.Random(seed)
+    spacing = 0.75 * EPS  # neighbour gap: connected at e, ends far apart
+    trajectories = []
+    for g in range(num_groups):
+        leader = waypoint_positions(
+            rng, t_domain, area=60.0 * EPS, speed=EPS / 2.0, turn_jitter=0.03
+        )
+        heading = rng.uniform(0, 2 * math.pi)
+        ux, uy = math.cos(heading), math.sin(heading)
+        for slot in range(group_size):
+            offset = slot * spacing
+            points = [
+                (
+                    x + ux * offset + rng.gauss(0, EPS / 50),
+                    y + uy * offset + rng.gauss(0, EPS / 50),
+                    t,
+                )
+                for t, (x, y) in enumerate(leader)
+            ]
+            trajectories.append(Trajectory(f"g{g}m{slot}", points))
+    return TrajectoryDatabase(trajectories)
+
+
+def _exact(db):
+    return normalize_convoys(cmc(db, M, K, EPS))
+
+
+def _recovered(exact, flocks):
+    return sum(
+        1
+        for convoy in exact
+        if any(
+            convoy.objects <= flock.objects
+            and flock.t_start <= convoy.t_start
+            and convoy.t_end <= flock.t_end
+            for flock in flocks
+        )
+    )
+
+
+def _merged_groups(flocks):
+    """Flocks mixing members of different planted groups (over-capture)."""
+    merged = 0
+    for flock in flocks:
+        groups = {str(obj).split("m")[0] for obj in flock.objects}
+        if len(groups) > 1:
+            merged += 1
+    return merged
+
+
+@pytest.fixture(scope="module")
+def platoons():
+    db = build_platoon_database()
+    return db, _exact(db)
+
+
+@pytest.mark.parametrize("factor", RADIUS_FACTORS)
+def test_ablation_flock_radius(benchmark, factor):
+    db = build_platoon_database()
+    radius = EPS * factor
+
+    def run():
+        return discover_flocks(db, M, K, radius)
+
+    flocks = benchmark.pedantic(run, rounds=1, iterations=1)
+    exact = _exact(db)
+    benchmark.extra_info.update(
+        {
+            "flocks": len(flocks),
+            "exact_convoys": len(exact),
+            "recovered": _recovered(exact, flocks),
+            "merged_groups": _merged_groups(flocks),
+        }
+    )
+
+
+def test_ablation_small_disc_loses_members(platoons):
+    """A disc of the density radius e cannot hold a full platoon."""
+    db, exact = platoons
+    assert exact
+    flocks = discover_flocks(db, M, K, EPS)
+    assert _recovered(exact, flocks) < len(exact)
+
+
+def test_ablation_big_disc_merges_groups(platoons):
+    """A disc big enough for a platoon's full length swallows neighbours."""
+    db, _exact_res = platoons
+    big = discover_flocks(db, M, K, EPS * 8.0)
+    assert _merged_groups(big) > 0
+
+
+def test_ablation_convoy_needs_no_radius_tuning(platoons):
+    """The density-based convoy captures every full platoon at e."""
+    db, exact = platoons
+    full_platoons = [c for c in exact if c.size >= 5]
+    assert full_platoons  # whole 5-member platoons are reported as convoys
+
+
+def main():
+    db = build_platoon_database()
+    exact = _exact(db)
+    rows = []
+    for factor in RADIUS_FACTORS:
+        radius = EPS * factor
+        flocks = discover_flocks(db, M, K, radius)
+        rows.append(
+            [
+                round(radius, 1),
+                len(flocks),
+                len(exact),
+                _recovered(exact, flocks),
+                round(100.0 * _recovered(exact, flocks) / len(exact), 1),
+                _merged_groups(flocks),
+            ]
+        )
+    print_report(
+        format_table(
+            "Ablation — lossy-flock problem on platoon formations "
+            f"(m={M}, k={K}, convoy e={EPS:g})",
+            ["disc radius", "flocks", "exact convoys", "fully recovered",
+             "recovered %", "flocks merging groups"],
+            rows,
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""Ablation — value of the Lemma 2 box-level pruning in the filter.
+
+The filter settles polyline pairs in two steps: a plane-sweep over
+tolerance-expanded bounding boxes (the Lemma 2 group/box bound) followed
+by the exact ω test (Lemma 1 / Lemma 3).  Disabling the sweep tests every
+time-coexisting pair exactly.  The answer is identical either way; the
+bench quantifies how many exact tests the box level saves and what that
+does to the filter's wall-clock time.
+"""
+
+import pytest
+
+from benchmarks.common import DATASET_NAMES, dataset, print_report
+from repro import convoy_sets_equal, cuts
+from repro.bench import format_table
+
+
+def _run(spec, use_lemma2):
+    return cuts(
+        spec.database, spec.m, spec.k, spec.eps,
+        variant="cuts*", use_lemma2=use_lemma2,
+    )
+
+
+@pytest.mark.parametrize("name", DATASET_NAMES)
+@pytest.mark.parametrize("mode", ("sweep", "all-pairs"))
+def test_ablation_lemma2(benchmark, name, mode):
+    spec = dataset(name)
+
+    def run():
+        return _run(spec, use_lemma2=(mode == "sweep"))
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["pairs_considered"] = result.filter_stats.get(
+        "pairs_considered", 0
+    )
+
+
+@pytest.mark.parametrize("name", ("truck", "car"))
+def test_ablation_lemma2_prunes_pairs(name):
+    spec = dataset(name)
+    with_boxes = _run(spec, True)
+    without = _run(spec, False)
+    assert convoy_sets_equal(with_boxes.convoys, without.convoys)
+    assert (
+        with_boxes.filter_stats["pairs_considered"]
+        < without.filter_stats["pairs_considered"]
+    )
+
+
+def main():
+    rows = []
+    for name in DATASET_NAMES:
+        spec = dataset(name)
+        with_boxes = _run(spec, True)
+        without = _run(spec, False)
+        considered_on = with_boxes.filter_stats.get("pairs_considered", 0)
+        considered_off = without.filter_stats.get("pairs_considered", 0)
+        rows.append(
+            [
+                name,
+                considered_off,
+                considered_on,
+                round(100.0 * (1 - considered_on / considered_off), 1)
+                if considered_off
+                else 0.0,
+                round(without.durations["filter"], 3),
+                round(with_boxes.durations["filter"], 3),
+            ]
+        )
+    print_report(
+        format_table(
+            "Ablation — Lemma 2 box pruning in the CuTS* filter",
+            ["dataset", "pairs (off)", "pairs (on)", "pruned %",
+             "filter s (off)", "filter s (on)"],
+            rows,
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

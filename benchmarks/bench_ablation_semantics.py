@@ -1,0 +1,99 @@
+"""Ablation — published candidate semantics vs the complete semantics.
+
+The reproduction ships two candidate-tracking rules (see
+repro/core/candidates.py): the pseudocode of Algorithm 1 verbatim
+(``paper_semantics=True``) and the default *complete* rule that seeds a
+candidate for every cluster and reports runs when they narrow.  This bench
+quantifies the difference the published rule's incompleteness makes:
+
+* how many convoys the published rule misses relative to the complete one;
+* whether filter-refinement remains exact under each rule (it provably is
+  under the complete rule; under the published rule the pipeline can
+  diverge from CMC — the very gap later convoy papers documented);
+* the running-time cost of completeness.
+"""
+
+import pytest
+
+from benchmarks.common import DATASET_NAMES, dataset, print_report
+from repro import cmc, convoy_sets_equal, cuts, normalize_convoys
+from repro.bench import format_table, time_call
+
+
+@pytest.mark.parametrize("name", DATASET_NAMES)
+@pytest.mark.parametrize("semantics", ("complete", "published"))
+def test_ablation_semantics_cmc(benchmark, name, semantics):
+    spec = dataset(name)
+    paper = semantics == "published"
+
+    def run():
+        return cmc(
+            spec.database, spec.m, spec.k, spec.eps, paper_semantics=paper
+        )
+
+    convoys = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["convoys"] = len(normalize_convoys(convoys))
+
+
+@pytest.mark.parametrize("name", DATASET_NAMES)
+def test_ablation_complete_semantics_supersets_published(name):
+    """Every published-rule convoy is covered by a complete-rule convoy."""
+    spec = dataset(name)
+    complete = normalize_convoys(
+        cmc(spec.database, spec.m, spec.k, spec.eps)
+    )
+    published = normalize_convoys(
+        cmc(spec.database, spec.m, spec.k, spec.eps, paper_semantics=True)
+    )
+    for convoy in published:
+        assert any(other.dominates(convoy) for other in complete), convoy
+
+
+def main():
+    rows = []
+    for name in DATASET_NAMES:
+        spec = dataset(name)
+        complete, complete_s = time_call(
+            cmc, spec.database, spec.m, spec.k, spec.eps
+        )
+        published, published_s = time_call(
+            cmc, spec.database, spec.m, spec.k, spec.eps, paper_semantics=True
+        )
+        complete = normalize_convoys(complete)
+        published = normalize_convoys(published)
+        missed = sum(
+            1
+            for convoy in complete
+            if not any(other.dominates(convoy) for other in published)
+        )
+        cuts_published = cuts(
+            spec.database, spec.m, spec.k, spec.eps,
+            variant="cuts*", paper_semantics=True,
+        )
+        exact_under_published = convoy_sets_equal(
+            published, cuts_published.convoys
+        )
+        rows.append(
+            [
+                name,
+                len(complete),
+                len(published),
+                missed,
+                round(complete_s, 3),
+                round(published_s, 3),
+                "yes" if exact_under_published else "NO",
+            ]
+        )
+    print_report(
+        format_table(
+            "Ablation — complete vs published candidate semantics (CMC)",
+            ["dataset", "convoys (complete)", "convoys (published)",
+             "missed by published", "time complete s", "time published s",
+             "CuTS==CMC under published?"],
+            rows,
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

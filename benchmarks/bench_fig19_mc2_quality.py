@@ -1,0 +1,112 @@
+"""Figure 19 (Appendix B.1) — MC2 moving clusters cannot answer convoy queries.
+
+For each dataset and θ ∈ {0.4, 0.6, 0.8, 1.0}, MC2's answer set Rm is
+scored against the exact set Rc: false positives are MC2 answers that do
+not satisfy the convoy definition (checked directly against the database
+with m, k, e), false negatives are exact convoys no MC2 answer covers.
+Expected shapes: both error rates are substantial everywhere and generally
+grow with θ (tighter overlap fragments the chains), making moving-cluster
+methods "ineffective and unreliable" for convoys.
+
+The query uses a demanding lifetime (2x the scaled k, mirroring the
+paper's k=180, which exceeded typical chain lengths): MC2 has no lifetime
+constraint at all, which is one of the two semantic gaps being measured.
+"""
+
+import pytest
+
+from benchmarks.common import DATASET_NAMES, dataset, print_report
+from repro import cmc, normalize_convoys
+from repro.baselines.moving_clusters import mc2_convoy_answers
+from repro.bench import format_table
+from repro.core.verification import false_negative_rate, false_positive_rate
+
+THETAS = (0.4, 0.6, 0.8, 1.0)
+
+
+def _demanding_k(spec):
+    return 2 * spec.k
+
+
+def _exact(spec):
+    return normalize_convoys(
+        cmc(spec.database, spec.m, _demanding_k(spec), spec.eps)
+    )
+
+
+@pytest.mark.parametrize("name", DATASET_NAMES)
+@pytest.mark.parametrize("theta", THETAS)
+def test_fig19_mc2_quality(benchmark, name, theta):
+    spec = dataset(name)
+    exact = _exact(spec)
+
+    def run():
+        return mc2_convoy_answers(spec.database, spec.eps, spec.m, theta)
+
+    answers = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        {
+            "false_positive_pct": round(
+                false_positive_rate(
+                    answers, spec.database, spec.m, _demanding_k(spec), spec.eps
+                ),
+                1,
+            ),
+            "false_negative_pct": round(false_negative_rate(answers, exact), 1),
+            "answers": len(answers),
+            "exact": len(exact),
+        }
+    )
+
+
+@pytest.mark.parametrize("name", ("truck", "car"))
+def test_fig19_mc2_has_errors(name):
+    """On convoy-rich data MC2 must exhibit nonzero error at some θ."""
+    spec = dataset(name)
+    exact = _exact(spec)
+    worst = 0.0
+    for theta in THETAS:
+        answers = mc2_convoy_answers(spec.database, spec.eps, spec.m, theta)
+        worst = max(
+            worst,
+            false_positive_rate(
+                answers, spec.database, spec.m, _demanding_k(spec), spec.eps
+            ),
+            false_negative_rate(answers, exact),
+        )
+    assert worst > 0.0
+
+
+def main():
+    fp_rows = []
+    fn_rows = []
+    for theta in THETAS:
+        fp_row = [theta]
+        fn_row = [theta]
+        for name in DATASET_NAMES:
+            spec = dataset(name)
+            exact = _exact(spec)
+            answers = mc2_convoy_answers(spec.database, spec.eps, spec.m, theta)
+            fp_row.append(
+                round(
+                    false_positive_rate(
+                        answers, spec.database, spec.m, _demanding_k(spec),
+                        spec.eps,
+                    ),
+                    1,
+                )
+            )
+            fn_row.append(round(false_negative_rate(answers, exact), 1))
+        fp_rows.append(fp_row)
+        fn_rows.append(fn_row)
+    headers = ["theta"] + list(DATASET_NAMES)
+    print_report(
+        format_table("Figure 19(a) — MC2 false positives (%)", headers, fp_rows)
+    )
+    print_report(
+        format_table("Figure 19(b) — MC2 false negatives (%)", headers, fn_rows)
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""Shared infrastructure for the experiment benches.
+
+Every bench file regenerates one table or figure of the paper's evaluation
+(see DESIGN.md §3).  Each file works in two modes:
+
+* ``pytest benchmarks/ --benchmark-only`` — pytest-benchmark timings, one
+  benchmark per (dataset, algorithm/parameter) cell, with the experiment's
+  headline numbers attached as ``extra_info``;
+* ``python benchmarks/bench_<name>.py`` — prints the paper-style table so
+  the rows can be compared against the publication (EXPERIMENTS.md records
+  the outcome of these runs).
+
+Datasets are generated once per process and cached; the bench scales are
+chosen so the full suite completes in minutes on a laptop while keeping
+every dataset's *shape* (see DESIGN.md §4 for the substitution argument).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.datasets import DATASETS
+
+#: Time-domain scale per dataset used across all benches.  Chosen so that
+#: the slowest single algorithm run stays around a second.
+BENCH_SCALES = {
+    "truck": 0.05,
+    "cattle": 0.005,
+    "car": 0.05,
+    "taxi": 0.3,
+}
+
+DATASET_NAMES = ("truck", "cattle", "car", "taxi")
+
+VARIANTS = ("cuts", "cuts+", "cuts*")
+
+
+@lru_cache(maxsize=None)
+def dataset(name, scale=None):
+    """Return the cached :class:`~repro.datasets.DatasetSpec` for a bench."""
+    if scale is None:
+        scale = BENCH_SCALES[name]
+    return DATASETS[name](scale=scale)
+
+
+def print_report(text):
+    """Print one experiment report with a blank-line frame (tee-friendly)."""
+    print()
+    print(text)
+    print()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Carpooling discovery on a car-like commuter dataset.
+
+The paper's motivating application: "the identification of cars that
+follow the same routes at the same time may be used for the organization
+of carpooling".  This script generates the Car-like synthetic dataset
+(heterogeneous trip lengths, staggered departures, irregular sampling),
+mines convoys with CuTS*, and turns each convoy into a carpool proposal —
+who could share a ride, and for how long.
+"""
+
+from repro import car_dataset, co_travel_totals, cuts, top_convoys
+
+
+def main():
+    spec = car_dataset(seed=13, scale=0.05)
+    db = spec.database
+    stats = db.statistics()
+    print(
+        f"car-like dataset: {stats['num_objects']} cars, "
+        f"{stats['time_domain_length']} time points, "
+        f"{stats['total_points']} GPS samples"
+    )
+    print(
+        f"query: groups of >= {spec.m} cars within e={spec.eps:g} "
+        f"for >= {spec.k} consecutive time points\n"
+    )
+
+    result = cuts(db, spec.m, spec.k, spec.eps, variant="cuts*")
+    proposals = top_convoys(result.convoys, limit=10, by="mass")
+
+    if not proposals:
+        print("no shared rides found — try a larger e or smaller k")
+        return
+
+    print(f"{len(proposals)} carpool opportunities, best first:")
+    for rank, convoy in enumerate(proposals, start=1):
+        riders = ", ".join(sorted(convoy.objects))
+        saved = (convoy.size - 1) * convoy.lifetime
+        print(
+            f"  #{rank}: cars [{riders}] share the road during "
+            f"t=[{convoy.t_start}, {convoy.t_end}] — pooling would save "
+            f"~{saved} vehicle-time-points"
+        )
+
+    pairs = co_travel_totals(result.convoys).most_common(3)
+    if pairs:
+        print("\nstrongest pairwise matches:")
+        for pair, total in pairs:
+            a, b = sorted(pair)
+            print(f"  {a} + {b}: {total} shared time points")
+
+    durations = result.durations
+    print(
+        f"\ndiscovery took {sum(durations.values()):.2f}s "
+        f"(simplify {durations['simplification']:.2f}s, "
+        f"filter {durations['filter']:.2f}s, "
+        f"refine {durations['refinement']:.2f}s)"
+    )
+    print(
+        f"ground truth: {len(spec.planted)} planted commuter groups; "
+        f"{sum(1 for p in spec.planted if p.is_detected_by(result.convoys, spec.m))} detected"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Run convoy queries over your own GPS logs via the CSV workflow.
+
+The library reads the flat ``object_id,t,x,y`` format used by public
+trajectory repositories (the paper's Truck data came from rtreeportal.org
+in this shape).  This script writes a sample file, loads it back, runs the
+query, and shows the incremental knobs a practitioner would turn: raising
+``e`` until the expected number of convoys appears — the procedure the
+paper used to calibrate Table 3 ("we adjusted the values of e to be able
+to find 1 to 100 convoys for each dataset").
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import (
+    cuts,
+    load_trajectories_csv,
+    save_trajectories_csv,
+    taxi_dataset,
+)
+
+
+def main():
+    # Stand-in for "your own data": dump the taxi-like dataset to CSV.
+    spec = taxi_dataset(seed=17, scale=0.15)
+    workdir = Path(tempfile.mkdtemp(prefix="convoy-demo-"))
+    csv_path = workdir / "taxi_logs.csv"
+    save_trajectories_csv(spec.database, csv_path)
+    print(f"wrote {csv_path} ({csv_path.stat().st_size // 1024} KiB)")
+
+    db = load_trajectories_csv(csv_path)
+    stats = db.statistics()
+    print(
+        f"loaded {stats['num_objects']} objects, "
+        f"{stats['total_points']} samples, "
+        f"T={stats['time_domain_length']}\n"
+    )
+
+    m, k = spec.m, spec.k
+    print(f"calibrating e for m={m}, k={k} (targeting 1-100 convoys):")
+    eps = spec.eps / 4
+    found = []
+    for _ in range(6):
+        result = cuts(db, m, k, eps, variant="cuts*")
+        print(f"  e={eps:7.2f}: {len(result.convoys):3d} convoys")
+        found = result.convoys
+        if 1 <= len(result.convoys) <= 100:
+            break
+        eps *= 2
+    print()
+    if found:
+        for convoy in found[:10]:
+            print(f"  {convoy}")
+    else:
+        print("no convoys at any tried e — taxis roam independently")
+
+
+if __name__ == "__main__":
+    main()

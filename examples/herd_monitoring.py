@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Herd sub-group monitoring on a cattle-like dataset (virtual fencing).
+
+The paper's Cattle data came from a CSIRO virtual-fencing study: 13 cows
+with GPS ear-tags sampled every second for hours.  Ethologists care about
+persistent sub-groups (social bonds, shared grazing).  This script mines
+them with the convoy query and demonstrates why the disc-based *flock*
+definition is the wrong tool: grazing lines are elongated, so any disc
+either clips a cow off the end of the line or swallows a second group —
+the lossy-flock problem of the paper's Figure 1.
+"""
+
+from collections import Counter
+
+from repro import cattle_dataset, cuts, discover_flocks
+
+
+def main():
+    spec = cattle_dataset(seed=11, scale=0.005)
+    db = spec.database
+    stats = db.statistics()
+    print(
+        f"cattle-like dataset: {stats['num_objects']} cows, "
+        f"T={stats['time_domain_length']} seconds, "
+        f"{stats['total_points']} GPS fixes"
+    )
+    print(f"query: m={spec.m}, k={spec.k}, e={spec.eps:g}\n")
+
+    result = cuts(db, spec.m, spec.k, spec.eps, variant="cuts+")
+    print(f"{len(result.convoys)} persistent sub-groups (convoys):")
+    bond_counter = Counter()
+    for convoy in sorted(result.convoys, key=lambda c: -c.lifetime)[:8]:
+        cows = ", ".join(sorted(convoy.objects))
+        print(
+            f"  [{cows}] grazed together for {convoy.lifetime} seconds "
+            f"(t=[{convoy.t_start}, {convoy.t_end}])"
+        )
+        for cow in convoy.objects:
+            bond_counter[cow] += convoy.lifetime
+
+    if bond_counter:
+        cow, seconds = bond_counter.most_common(1)[0]
+        print(f"\nmost social cow: {cow} ({seconds} convoy-seconds)")
+
+    # The lossy-flock contrast: discs of radius e find strictly fewer
+    # complete groups than density connection on elongated herds.
+    flocks = discover_flocks(db, spec.m, spec.k, spec.eps)
+    convoy_sizes = Counter(c.size for c in result.convoys)
+    flock_sizes = Counter(f.size for f in flocks)
+    print(
+        f"\nflock baseline with a disc of radius e: {len(flocks)} groups "
+        f"(sizes {dict(flock_sizes)}) vs convoy sizes {dict(convoy_sizes)}"
+    )
+    largest_convoy = max((c.size for c in result.convoys), default=0)
+    largest_flock = max((f.size for f in flocks), default=0)
+    if largest_flock < largest_convoy:
+        print(
+            "the disc clipped members off the largest group — "
+            "the lossy-flock problem in action"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,16 @@
+"""Baseline pattern-discovery methods the paper compares against.
+
+* :func:`mc2` — the moving-cluster method of Kalnis et al. (reference
+  [19]), adapted verbatim as "MC2" in Appendix B.1 to demonstrate that
+  moving clusters cannot answer convoy queries (no lifetime constraint,
+  θ-overlap instead of exact intersection);
+* :func:`discover_flocks` — a disc-based flock finder in the style of
+  references [5, 13], used to demonstrate the *lossy-flock problem* of
+  Figure 1: a fixed-radius disc can exclude objects that a density-based
+  convoy correctly keeps.
+"""
+
+from repro.baselines.flocks import discover_flocks
+from repro.baselines.moving_clusters import MovingCluster, mc2
+
+__all__ = ["MovingCluster", "discover_flocks", "mc2"]

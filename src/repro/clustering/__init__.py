@@ -1,0 +1,32 @@
+"""Density-based clustering substrate.
+
+The convoy definition is built on DBSCAN-style *density connection*
+(Ester et al. 1996, reference [12] of the paper), so the library implements
+DBSCAN from scratch in three layers:
+
+* :mod:`repro.clustering.grid_index` — a uniform grid over points that
+  answers exact ``e``-neighbourhood queries in expected O(neighbours);
+* :mod:`repro.clustering.dbscan` — snapshot DBSCAN over point locations
+  (the per-time-point clustering of CMC, Algorithm 1 line 7);
+* :mod:`repro.clustering.generic_dbscan` — DBSCAN over opaque items with a
+  pluggable neighbourhood oracle, used by the CuTS filter to cluster
+  *polylines of simplified segments* (the TRAJ-DBSCAN of Algorithm 2);
+* :mod:`repro.clustering.range_search` — the multi-step range search of
+  Section 5.2 over simplified polylines, applying the Lemma 2 box bound
+  before the per-segment Lemma 1 / Lemma 3 bounds.
+"""
+
+from repro.clustering.dbscan import dbscan
+from repro.clustering.generic_dbscan import density_cluster
+from repro.clustering.grid_index import GridIndex
+from repro.clustering.polyline import PartitionPolyline
+from repro.clustering.range_search import PolylineRangeSearcher, polyline_omega
+
+__all__ = [
+    "GridIndex",
+    "PartitionPolyline",
+    "PolylineRangeSearcher",
+    "dbscan",
+    "density_cluster",
+    "polyline_omega",
+]

@@ -1,0 +1,77 @@
+"""Per-partition polylines of simplified segments.
+
+The CuTS filter (Algorithm 2) clusters, within each time partition ``T_z``,
+one *polyline* per object: the sequence of that object's simplified line
+segments whose time intervals intersect ``T_z``.  A
+:class:`PartitionPolyline` bundles those segments with the per-segment
+**actual tolerances** δ(l') of Definition 4, plus the cached aggregates the
+range search needs (bounding box, max tolerance, covered time interval).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class PartitionPolyline:
+    """The simplified sub-trajectory of one object inside one time partition.
+
+    Attributes:
+        object_id: identifier of the moving object.
+        segments: time-ordered tuple of
+            :class:`repro.trajectory.segment.TimestampedSegment`.
+        tolerances: tuple of actual tolerances δ(l'), parallel to
+            ``segments``.  Passing the *global* tolerance δ for every
+            segment degrades the filter exactly as Figure 14 measures
+            (the "Use of Global Tolerance" series).
+    """
+
+    object_id: object
+    segments: tuple
+    tolerances: tuple
+    _bbox: object = field(init=False, repr=False, compare=False)
+    _max_tolerance: float = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self):
+        if not self.segments:
+            raise ValueError(f"polyline for {self.object_id!r} has no segments")
+        if len(self.segments) != len(self.tolerances):
+            raise ValueError(
+                f"polyline for {self.object_id!r}: {len(self.segments)} segments "
+                f"but {len(self.tolerances)} tolerances"
+            )
+        for prev, cur in zip(self.segments, self.segments[1:]):
+            if cur.t_start < prev.t_start:
+                raise ValueError(
+                    f"polyline for {self.object_id!r}: segments not time-ordered"
+                )
+        box = self.segments[0].bbox
+        for segment in self.segments[1:]:
+            box = box.union(segment.bbox)
+        object.__setattr__(self, "_bbox", box)
+        object.__setattr__(self, "_max_tolerance", max(self.tolerances))
+
+    @property
+    def bbox(self):
+        """The minimum bounding box of every segment in the polyline."""
+        return self._bbox
+
+    @property
+    def max_tolerance(self):
+        """``δmax``: the largest actual tolerance over the polyline's segments."""
+        return self._max_tolerance
+
+    @property
+    def t_start(self):
+        """First time point covered by any segment."""
+        return self.segments[0].t_start
+
+    @property
+    def t_end(self):
+        """Last time point covered by any segment."""
+        return max(segment.t_end for segment in self.segments)
+
+    def overlaps_interval(self, t_lo, t_hi):
+        """Return True if any segment's time interval meets ``[t_lo, t_hi]``."""
+        return self.t_start <= t_hi and t_lo <= self.t_end

@@ -1,0 +1,68 @@
+"""The pruning bounds of Lemmas 1-3 and the ω trajectory distance.
+
+These are thin, explicitly-named wrappers over the geometry layer.  The
+filter's range search (:mod:`repro.clustering.range_search`) inlines the
+same logic for speed; the wrappers exist so the lemmas can be stated — and
+property-tested — in the paper's own vocabulary:
+
+* **Lemma 1** — ``DLL(l'q, l'i) > e + δ(l'q) + δ(l'i)`` implies the
+  original objects were farther than ``e`` apart at every shared time.
+* **Lemma 2** — ``Dmin(B(l'q), B(S)) > e + δ(l'q) + δmax(S)`` lets a whole
+  group ``S`` of segments be discarded at once.
+* **Lemma 3** — Lemma 1 with the tighter time-parameterized distance
+  ``D*`` for DP*-simplified segments.
+"""
+
+from __future__ import annotations
+
+from repro.clustering.range_search import polyline_omega
+from repro.geometry.bbox import box_min_distance
+
+
+def lemma1_prunes(seg_q, tol_q, seg_i, tol_i, eps):
+    """Return True when Lemma 1 discards the segment pair.
+
+    Args:
+        seg_q, seg_i: :class:`repro.trajectory.TimestampedSegment`.
+        tol_q, tol_i: the segments' actual tolerances δ(l').
+        eps: the convoy distance threshold ``e``.
+    """
+    return seg_q.spatial_distance_to(seg_i) > eps + tol_q + tol_i
+
+
+def lemma3_prunes(seg_q, tol_q, seg_i, tol_i, eps):
+    """Return True when Lemma 3 discards the segment pair (D* distance).
+
+    Requires DP*-simplified segments: the tolerance must bound the
+    *time-ratio* deviation ``D(o(t), l'(t))``, which DP and DP+ do not
+    guarantee.
+    """
+    return seg_q.cpa_distance_to(seg_i) > eps + tol_q + tol_i
+
+
+def lemma2_prunes(box_q, tol_q, group_box, group_max_tol, eps):
+    """Return True when Lemma 2 discards an entire segment group.
+
+    Args:
+        box_q: bounding box of the query segment (or polyline).
+        tol_q: the query's actual tolerance.
+        group_box: ``B(S)``, the bounding box of the group.
+        group_max_tol: ``δmax(S)``, the largest tolerance in the group.
+        eps: the convoy distance threshold ``e``.
+    """
+    return box_min_distance(box_q, group_box) > eps + tol_q + group_max_tol
+
+
+def omega(poly_q, poly_i, mode="dll"):
+    """Return ``ω(o'q, o'i)`` (Section 5.2).
+
+    The minimum, over time-overlapping segment pairs, of the segment
+    distance minus both actual tolerances; ``inf`` when the trajectories
+    never coexist.  ``ω > e`` proves the original objects were never within
+    ``e`` of each other, so the pair can never share a convoy.
+
+    Args:
+        poly_q, poly_i: :class:`repro.clustering.PartitionPolyline`.
+        mode: ``"dll"`` (Lemma 1) or ``"cpa"`` (Lemma 3).
+    """
+    return polyline_omega(poly_q, poly_i, mode)

@@ -1,0 +1,272 @@
+"""Convoy-candidate bookkeeping shared by CMC and the CuTS filter.
+
+Both Algorithm 1 (CMC, one step per time point) and Algorithm 2 (CuTS
+filter, one step per λ-length time partition) run the same loop around
+their clustering call:
+
+* every live candidate ``v`` is joined with every new cluster ``c``; when
+  ``|c ∩ v| >= m`` the candidate survives as ``c ∩ v`` with its end time
+  advanced;
+* candidates no cluster extends die — and are *reported* if they lasted at
+  least ``k`` time points;
+* clusters seed new candidates.
+
+:class:`CandidateTracker` implements that loop once.  Lifetimes are tracked
+as closed time intervals (``end - start + 1``), which coincides with
+Algorithm 1's per-step counter and with Algorithm 2's ``+= λ`` counter
+because extension steps are always temporally contiguous.
+
+Three deliberate deviations from the published pseudocode, the first and
+third governed by ``paper_semantics``:
+
+1. **Complete seeding (default).**  Algorithm 1 line 20 seeds a cluster as
+   a new candidate only when it extended *no* existing candidate.  That
+   rule loses convoys: when a cluster ``c`` extends a candidate ``v`` the
+   chain narrows to ``c ∩ v``, and a convoy formed by ``c``'s *full*
+   membership starting at the current step is never tracked (later convoy
+   literature documents this incompleteness of CMC, e.g. Aung & Tan's
+   "valid convoy" line of work).  The default semantics seeds every
+   cluster as a fresh candidate **unless some surviving candidate already
+   has exactly the cluster's object set** — an equal-set survivor evolves
+   identically ever after, so the suppressed seed could only ever report a
+   time-dominated fragment of what the survivor reports.  This keeps the
+   candidate count linear on stable groups while restoring completeness.
+   ``paper_semantics=True`` reproduces the published rule verbatim (the
+   semantics ablation bench compares the two).
+
+2. **Gap handling.**  When a step has no clusters (fewer than ``m``
+   objects alive, or none close together), Algorithm 1 lines 5-6 "skip
+   the iteration" leaving ``V`` intact, which would let a candidate bridge
+   a time point where its objects were provably not density-connected —
+   contradicting Definition 3's "k consecutive time points".  The tracker
+   instead closes every live candidate on such steps.  This deviation is
+   unconditional: feeding an empty cluster list to :meth:`advance` always
+   ends every chain.
+
+3. **Report on narrowing (default).**  Under the published rule a chain
+   that *narrows* (every extending cluster drops some of its members) just
+   continues with the intersection; the pre-narrowing member set — which
+   was density-connected at every step since the chain's start, a maximal
+   run per Definition 3 — is silently forgotten.  The default semantics
+   closes that run (reporting it when it lived >= k) whenever no extension
+   preserves the full member set, while the narrowed children continue.
+   Besides completeness, this is what makes the CuTS refinement's answer
+   *equal* to CMC's: a refinement window necessarily cuts chains at the
+   candidate boundary, and the window-end flush of a still-narrowing chain
+   only matches a run the global algorithm actually reports if narrowing
+   runs are reported globally too.
+
+The tracker also records, per candidate, the **cluster the chain passed
+through in every time window**.  The CuTS refinement step needs it: the
+intersection alone can drop "bridge" objects that connected the convoy's
+members at individual time points, and re-clustering without the bridges
+would break density connections that exist in the full database.  (Any
+snapshot cluster containing the chain's objects at a covered time is a
+subset of the chain's window cluster there, because density clusters are
+disjoint and the window cluster contains the chain's objects.)  Window
+histories are kept as shared-prefix cons lists so a long chain costs O(1)
+per step, and are only materialized when a chain closes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.convoy import Convoy
+
+
+@dataclass(frozen=True)
+class ClosedCandidate:
+    """A candidate chain that ended with lifetime >= k.
+
+    Attributes:
+        objects: the chain's running intersection — the convoy's member
+            set under the intersection semantics of Algorithms 1/2.
+        t_start, t_end: the closed time interval the chain covered.
+        windows: tuple of ``(window_start, window_end, members)`` — the
+            cluster the chain passed through in each step window, in time
+            order.  Refinement re-clusters exactly these objects at the
+            covered times.
+    """
+
+    objects: frozenset
+    t_start: int
+    t_end: int
+    windows: tuple
+
+    @property
+    def lifetime(self):
+        """Number of time points covered (``t_end - t_start + 1``)."""
+        return self.t_end - self.t_start + 1
+
+    @property
+    def union(self):
+        """Every object appearing in any window cluster along the chain."""
+        merged = set()
+        for _ws, _we, members in self.windows:
+            merged |= members
+        return frozenset(merged)
+
+    def as_convoy(self):
+        """The chain's answer as a :class:`~repro.core.convoy.Convoy`."""
+        return Convoy(self.objects, self.t_start, self.t_end)
+
+    def as_candidate_convoy(self):
+        """The chain's *union* as a convoy-shaped summary of the candidate."""
+        return Convoy(self.union, self.t_start, self.t_end)
+
+
+class _Live:
+    """One live candidate chain (mutable while tracked).
+
+    ``history`` is a cons node ``(parent_node, ws, we, members)`` sharing
+    its prefix with the parent chain's node.
+    """
+
+    __slots__ = ("objects", "t_start", "t_end", "history")
+
+    def __init__(self, objects, t_start, t_end, history):
+        self.objects = objects
+        self.t_start = t_start
+        self.t_end = t_end
+        self.history = history
+
+    @property
+    def lifetime(self):
+        return self.t_end - self.t_start + 1
+
+    def close(self):
+        windows = []
+        node = self.history
+        while node is not None:
+            parent, ws, we, members = node
+            windows.append((ws, we, members))
+            node = parent
+        windows.reverse()
+        return ClosedCandidate(
+            self.objects, self.t_start, self.t_end, tuple(windows)
+        )
+
+
+class CandidateTracker:
+    """Incremental candidate maintenance for CMC / the CuTS filter.
+
+    Args:
+        min_objects: the convoy query's ``m``.
+        min_lifetime: the convoy query's ``k`` (in time points).
+        paper_semantics: reproduce Algorithm 1's seeding rule verbatim
+            (False by default — see the module docstring).
+
+    Usage: call :meth:`advance` once per time step (or partition) with the
+    clusters found there; collect the :class:`ClosedCandidate` records it
+    reports; call :meth:`flush` after the last step.
+    """
+
+    def __init__(self, min_objects, min_lifetime, paper_semantics=False):
+        if min_objects < 1:
+            raise ValueError(f"m must be >= 1, got {min_objects}")
+        if min_lifetime < 1:
+            raise ValueError(f"k must be >= 1, got {min_lifetime}")
+        self._m = min_objects
+        self._k = min_lifetime
+        self._paper_semantics = paper_semantics
+        self._candidates = []
+        self._last_end = None
+
+    @property
+    def live_candidates(self):
+        """Snapshot of the live candidate set (for introspection/tests)."""
+        return [
+            Convoy(c.objects, c.t_start, c.t_end) for c in self._candidates
+        ]
+
+    def advance(self, clusters, window_start, window_end):
+        """Process one time step covering ``[window_start, window_end]``.
+
+        Args:
+            clusters: iterable of object-id sets found by this step's
+                density clustering.  Clusters smaller than ``m`` are
+                ignored (DBSCAN with ``min_pts = m`` never produces them,
+                but the tracker does not rely on that).
+            window_start, window_end: closed time interval the step covers.
+                CMC passes ``t, t``; the CuTS filter passes the partition
+                bounds.  Steps must be fed in ascending, non-overlapping
+                time order.
+
+        Returns:
+            List of :class:`ClosedCandidate` — chains that died at this
+            step after living at least ``k`` time points.
+        """
+        if window_end < window_start:
+            raise ValueError(f"window reversed: [{window_start}, {window_end}]")
+        if self._last_end is not None and window_start <= self._last_end:
+            raise ValueError(
+                f"steps must advance in time: window [{window_start}, "
+                f"{window_end}] after end {self._last_end}"
+            )
+        self._last_end = window_end
+        usable = [frozenset(c) for c in clusters if len(c) >= self._m]
+        closed = []
+        survivors = {}  # (objects, t_start) -> _Live
+        extended = [False] * len(usable)
+        for candidate in self._candidates:
+            assigned = False
+            preserved = False  # some extension kept the full member set
+            for index, cluster in enumerate(usable):
+                common = candidate.objects & cluster
+                if len(common) >= self._m:
+                    assigned = True
+                    extended[index] = True
+                    if len(common) == len(candidate.objects):
+                        preserved = True
+                    key = (common, candidate.t_start)
+                    if key not in survivors:
+                        # A duplicate key means two parents were extended by
+                        # the same cluster into identical chains; either
+                        # parent's window history is sound (every historical
+                        # window cluster contains the chain's objects), so
+                        # the first one is kept.
+                        survivors[key] = _Live(
+                            common,
+                            candidate.t_start,
+                            window_end,
+                            (candidate.history, window_start, window_end,
+                             cluster),
+                        )
+            if self._paper_semantics:
+                report_run = not assigned
+            else:
+                report_run = not preserved
+            if report_run and candidate.lifetime >= self._k:
+                closed.append(candidate.close())
+        survivor_objects = {live.objects for live in survivors.values()}
+        for index, cluster in enumerate(usable):
+            if self._paper_semantics:
+                seed = not extended[index]
+            else:
+                seed = cluster not in survivor_objects
+            if seed:
+                key = (cluster, window_start)
+                if key not in survivors:
+                    survivors[key] = _Live(
+                        cluster,
+                        window_start,
+                        window_end,
+                        (None, window_start, window_end, cluster),
+                    )
+        self._candidates = list(survivors.values())
+        return closed
+
+    def flush(self):
+        """Close every remaining candidate; return the qualifying records.
+
+        Must be called once after the final :meth:`advance`; the tracker
+        can then be discarded.
+        """
+        closed = [
+            candidate.close()
+            for candidate in self._candidates
+            if candidate.lifetime >= self._k
+        ]
+        self._candidates = []
+        return closed

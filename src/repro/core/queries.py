@@ -1,0 +1,156 @@
+"""Convenience queries over convoy result sets.
+
+The discovery algorithms return flat convoy lists; applications usually
+want derived views — the longest-lasting groups, everything a particular
+object took part in, pairwise co-travel totals for carpool matching, or a
+one-line summary for dashboards.  These helpers are pure functions over
+:class:`~repro.core.convoy.Convoy` lists, so they compose with any of the
+discovery algorithms (and with baseline outputs shaped as convoys).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+
+
+def top_convoys(convoys, limit=10, by="duration"):
+    """Return the ``limit`` highest-ranked convoys.
+
+    Args:
+        convoys: iterable of convoys.
+        limit: maximum number to return.
+        by: ranking key — ``"duration"`` (lifetime), ``"size"`` (member
+            count), or ``"mass"`` (lifetime × size, the total object-time
+            the convoy represents).
+
+    Ties break deterministically via the convoy sort key.
+    """
+    rankers = {
+        "duration": lambda c: c.lifetime,
+        "size": lambda c: c.size,
+        "mass": lambda c: c.lifetime * c.size,
+    }
+    if by not in rankers:
+        raise ValueError(f"unknown ranking {by!r}; expected {sorted(rankers)}")
+    ranker = rankers[by]
+    return sorted(
+        convoys, key=lambda c: (-ranker(c),) + c.sort_key()
+    )[:max(0, limit)]
+
+
+def longest_convoy(convoys):
+    """Return the longest-lifetime convoy, or None for an empty input.
+
+    The paper notes that finding the *longest-duration flock* is NP-hard;
+    for convoys the discovery algorithms already enumerate maximal runs,
+    so the longest is a simple scan.
+    """
+    best = top_convoys(convoys, limit=1, by="duration")
+    return best[0] if best else None
+
+
+def convoys_of_object(convoys, object_id):
+    """Return every convoy containing ``object_id``, in time order."""
+    found = [c for c in convoys if object_id in c.objects]
+    found.sort(key=lambda c: c.sort_key())
+    return found
+
+
+def convoys_during(convoys, t_lo, t_hi):
+    """Return every convoy whose interval intersects ``[t_lo, t_hi]``."""
+    if t_hi < t_lo:
+        raise ValueError(f"window reversed: [{t_lo}, {t_hi}]")
+    found = [c for c in convoys if c.t_start <= t_hi and t_lo <= c.t_end]
+    found.sort(key=lambda c: c.sort_key())
+    return found
+
+
+def co_travel_totals(convoys):
+    """Return total co-travel time per object pair.
+
+    For every unordered pair of objects, sums the lifetimes of the convoys
+    containing both — the affinity score a carpool/ride-sharing matcher
+    ranks by.  Overlapping convoys both count (they represent the same
+    physical co-travel seen through different maximal groups), so treat
+    the totals as a ranking signal rather than exact seconds.
+
+    Returns:
+        ``Counter`` mapping ``frozenset({a, b})`` to total time points.
+    """
+    totals = Counter()
+    for convoy in convoys:
+        members = sorted(convoy.objects, key=repr)
+        for i, a in enumerate(members):
+            for b in members[i + 1:]:
+                totals[frozenset((a, b))] += convoy.lifetime
+    return totals
+
+
+def participation_totals(convoys):
+    """Return per-object total convoy time (the 'most social object' view)."""
+    totals = Counter()
+    for convoy in convoys:
+        for obj in convoy.objects:
+            totals[obj] += convoy.lifetime
+    return totals
+
+
+def convoy_timeline(convoys, t_lo=None, t_hi=None):
+    """Return ``{t: number of convoys active at t}`` over the window.
+
+    Useful for plotting congestion/co-movement intensity over time.  The
+    window defaults to the convoys' full extent.
+    """
+    convoys = list(convoys)
+    if not convoys:
+        return {}
+    if t_lo is None:
+        t_lo = min(c.t_start for c in convoys)
+    if t_hi is None:
+        t_hi = max(c.t_end for c in convoys)
+    deltas = defaultdict(int)
+    for convoy in convoys:
+        lo = max(t_lo, convoy.t_start)
+        hi = min(t_hi, convoy.t_end)
+        if lo > hi:
+            continue
+        deltas[lo] += 1
+        deltas[hi + 1] -= 1
+    timeline = {}
+    active = 0
+    for t in range(t_lo, t_hi + 1):
+        active += deltas.get(t, 0)
+        timeline[t] = active
+    return timeline
+
+
+def summarize(convoys):
+    """Return a one-glance summary dict of a result set.
+
+    Keys: ``count``, ``objects`` (distinct members), ``max_size``,
+    ``max_lifetime``, ``mean_size``, ``mean_lifetime``, ``total_mass``
+    (Σ size × lifetime).  Zeros for an empty input.
+    """
+    convoys = list(convoys)
+    if not convoys:
+        return {
+            "count": 0,
+            "objects": 0,
+            "max_size": 0,
+            "max_lifetime": 0,
+            "mean_size": 0.0,
+            "mean_lifetime": 0.0,
+            "total_mass": 0,
+        }
+    members = set()
+    for convoy in convoys:
+        members |= convoy.objects
+    return {
+        "count": len(convoys),
+        "objects": len(members),
+        "max_size": max(c.size for c in convoys),
+        "max_lifetime": max(c.lifetime for c in convoys),
+        "mean_size": sum(c.size for c in convoys) / len(convoys),
+        "mean_lifetime": sum(c.lifetime for c in convoys) / len(convoys),
+        "total_mass": sum(c.size * c.lifetime for c in convoys),
+    }

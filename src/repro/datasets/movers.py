@@ -1,0 +1,137 @@
+"""Movement primitives for the synthetic datasets.
+
+Three building blocks:
+
+* :func:`waypoint_positions` — a random-waypoint walk: pick a target,
+  travel toward it at (roughly) constant speed, repeat.  This produces the
+  piecewise-near-linear movement that makes line simplification meaningful
+  (a pure Brownian walk would simplify terribly and a straight line too
+  well).
+* :func:`group_trajectories` — trajectories for a leader plus followers
+  with controllable spread around the leader over time.
+* :func:`irregular_sample` — thin a regularly-sampled trajectory down to
+  irregular sampling (the Taxi/Car regime), always keeping the endpoints.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.trajectory.point import TrajectoryPoint
+from repro.trajectory.trajectory import Trajectory
+
+
+def waypoint_positions(rng, num_steps, area, speed, start=None, turn_jitter=0.0):
+    """Generate ``num_steps`` positions of a random-waypoint walk.
+
+    Args:
+        rng: a seeded :class:`random.Random`.
+        num_steps: number of positions (one per unit time step).
+        area: side length of the square world ``[0, area] x [0, area]``;
+            positions are clamped to it.
+        speed: distance covered per time step while travelling.
+        start: optional starting ``(x, y)``; random inside the area when
+            None.
+        turn_jitter: per-step heading noise (radians, std-dev-ish) applied
+            on top of the waypoint pursuit, for less robotic tracks.
+
+    Returns:
+        List of ``(x, y)`` tuples of length ``num_steps``.
+    """
+    if num_steps < 1:
+        raise ValueError(f"num_steps must be >= 1, got {num_steps}")
+    if start is None:
+        pos = (rng.uniform(0, area), rng.uniform(0, area))
+    else:
+        pos = start
+    positions = [pos]
+    target = (rng.uniform(0, area), rng.uniform(0, area))
+    for _ in range(num_steps - 1):
+        dx = target[0] - pos[0]
+        dy = target[1] - pos[1]
+        dist = math.hypot(dx, dy)
+        if dist < speed:
+            target = (rng.uniform(0, area), rng.uniform(0, area))
+            dx = target[0] - pos[0]
+            dy = target[1] - pos[1]
+            dist = math.hypot(dx, dy) or 1.0
+        heading = math.atan2(dy, dx)
+        if turn_jitter:
+            heading += rng.gauss(0.0, turn_jitter)
+        step = min(speed, dist)
+        pos = (
+            min(max(pos[0] + step * math.cos(heading), 0.0), area),
+            min(max(pos[1] + step * math.sin(heading), 0.0), area),
+        )
+        positions.append(pos)
+    return positions
+
+
+def group_trajectories(
+    rng,
+    leader_positions,
+    t_start,
+    member_ids,
+    spread_fn,
+    jitter=0.0,
+):
+    """Build follower trajectories around a leader path.
+
+    Each member ``i`` keeps a fixed unit offset direction from the leader;
+    its distance from the leader at step ``s`` is ``spread_fn(s)``, plus
+    optional Gaussian jitter.  With a small constant spread the members
+    form a density-connected blob (a convoy); growing the spread outside an
+    interval disperses them.
+
+    Args:
+        rng: a seeded :class:`random.Random`.
+        leader_positions: list of leader ``(x, y)`` per step.
+        t_start: time point of the first step.
+        member_ids: identifiers; one trajectory per member is returned.
+        spread_fn: ``f(step_index) -> float`` distance from the leader.
+        jitter: per-coordinate Gaussian noise σ.
+
+    Returns:
+        List of :class:`~repro.trajectory.trajectory.Trajectory`.
+    """
+    trajectories = []
+    for member_id in member_ids:
+        angle = rng.uniform(0.0, 2.0 * math.pi)
+        ux = math.cos(angle)
+        uy = math.sin(angle)
+        points = []
+        for step, (lx, ly) in enumerate(leader_positions):
+            r = spread_fn(step)
+            x = lx + ux * r
+            y = ly + uy * r
+            if jitter:
+                x += rng.gauss(0.0, jitter)
+                y += rng.gauss(0.0, jitter)
+            points.append(TrajectoryPoint(x, y, t_start + step))
+        trajectories.append(Trajectory(member_id, points))
+    return trajectories
+
+
+def irregular_sample(trajectory, rng, keep_probability):
+    """Thin a trajectory to irregular sampling.
+
+    Every interior sample survives independently with ``keep_probability``;
+    the first and last samples always survive so ``o.tau`` is unchanged.
+    This reproduces the Taxi dataset's "some taxis reported their locations
+    every three minutes, while some did it once in several minutes".
+
+    Returns a new :class:`~repro.trajectory.trajectory.Trajectory`.
+    """
+    if not (0.0 < keep_probability <= 1.0):
+        raise ValueError(
+            f"keep_probability must be in (0, 1], got {keep_probability}"
+        )
+    points = list(trajectory)
+    if len(points) <= 2 or keep_probability == 1.0:
+        return trajectory
+    kept = [points[0]]
+    kept.extend(
+        p for p in points[1:-1] if rng.random() < keep_probability
+    )
+    kept.append(points[-1])
+    return Trajectory(trajectory.object_id, kept)

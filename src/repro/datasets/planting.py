@@ -1,0 +1,149 @@
+"""Convoy planting with known ground truth.
+
+Tests need databases where the *expected* convoys are known by
+construction.  :func:`plant_convoy_group` builds a group of objects that
+are provably density-connected (tightly packed around a leader) during a
+chosen interval and dispersed outside it, and returns the
+:class:`PlantedConvoy` ground-truth record alongside the trajectories.
+
+The guarantee is one-sided by design: discovery algorithms must find a
+convoy *containing* the planted one (same objects or more, covering at
+least the core interval).  Exact interval equality is not promised because
+the dispersal ramps are gradual and neighbouring noise objects may join.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datasets.movers import group_trajectories, waypoint_positions
+
+
+@dataclass(frozen=True)
+class PlantedConvoy:
+    """Ground truth for one planted convoy.
+
+    Attributes:
+        objects: frozenset of member object ids.
+        t_start, t_end: the *core* interval during which the members are
+            guaranteed tightly packed (well within any reasonable ``e``).
+    """
+
+    objects: frozenset
+    t_start: int
+    t_end: int
+
+    @property
+    def lifetime(self):
+        """Length of the guaranteed interval in time points."""
+        return self.t_end - self.t_start + 1
+
+    def is_covered_by(self, convoys):
+        """True if some discovered convoy contains this planted one."""
+        return any(
+            self.objects <= convoy.objects
+            and convoy.t_start <= self.t_start
+            and self.t_end <= convoy.t_end
+            for convoy in convoys
+        )
+
+    def is_detected_by(self, convoys, min_members, min_overlap=0.7):
+        """Tolerant detection check for noisy multi-group databases.
+
+        The paper's CMC narrows a candidate to its intersection with each
+        new cluster and never re-grows it, so a noise object that briefly
+        co-clusters with some members *before* the core interval can
+        legitimately clip a few time points off the discovered convoy (see
+        the candidates-module docstring).  Detection therefore requires a
+        discovered convoy sharing at least ``min_members`` members whose
+        interval covers at least ``min_overlap`` of the core interval —
+        strict containment (:meth:`is_covered_by`) remains the right check
+        for noise-free planted databases.
+        """
+        needed = min(min_members, len(self.objects))
+        for convoy in convoys:
+            if len(convoy.objects & self.objects) < needed:
+                continue
+            overlap_lo = max(convoy.t_start, self.t_start)
+            overlap_hi = min(convoy.t_end, self.t_end)
+            if overlap_hi < overlap_lo:
+                continue
+            if (overlap_hi - overlap_lo + 1) >= min_overlap * self.lifetime:
+                return True
+        return False
+
+
+def plant_convoy_group(
+    rng,
+    member_ids,
+    t_start,
+    t_end,
+    eps,
+    area,
+    speed,
+    alive_range=None,
+    ramp=None,
+    dispersed_spread=None,
+):
+    """Build one group of trajectories containing a known convoy.
+
+    Args:
+        rng: a seeded :class:`random.Random`.
+        member_ids: ids of the group's objects (the convoy members).
+        t_start, t_end: the core convoy interval (inclusive).
+        eps: the query distance threshold the convoy must be found under;
+            members stay within ``eps / 4`` of the leader inside the core
+            interval (so consecutive members are within ``eps/2 < eps`` of
+            each other).
+        area: world side length.
+        speed: leader speed per time step.
+        alive_range: optional ``(t_lo, t_hi)`` full lifetime of the group's
+            trajectories; defaults to the core interval padded by ``ramp``
+            steps on both sides (clamped to ``t >= 0``).
+        ramp: number of steps over which members disperse outside the core
+            interval; defaults to ``max(4, (t_end - t_start) // 2)``.
+        dispersed_spread: member-to-leader distance when fully dispersed;
+            defaults to ``6 * eps`` (comfortably un-clusterable).
+
+    Returns:
+        ``(trajectories, PlantedConvoy)``.
+    """
+    if t_end < t_start:
+        raise ValueError(f"core interval reversed: [{t_start}, {t_end}]")
+    if ramp is None:
+        ramp = max(4, (t_end - t_start) // 2)
+    if dispersed_spread is None:
+        dispersed_spread = 6.0 * eps
+    if alive_range is None:
+        alive_range = (max(0, t_start - ramp), t_end + ramp)
+    t_lo, t_hi = alive_range
+    if not (t_lo <= t_start and t_end <= t_hi):
+        raise ValueError(
+            f"alive range [{t_lo}, {t_hi}] must contain core [{t_start}, {t_end}]"
+        )
+    num_steps = t_hi - t_lo + 1
+    leader = waypoint_positions(rng, num_steps, area, speed)
+    tight = eps / 4.0
+    core_lo = t_start - t_lo
+    core_hi = t_end - t_lo
+
+    def spread_fn(step):
+        if core_lo <= step <= core_hi:
+            return tight
+        if step < core_lo:
+            gap = core_lo - step
+        else:
+            gap = step - core_hi
+        fraction = min(1.0, gap / ramp)
+        return tight + (dispersed_spread - tight) * fraction
+
+    trajectories = group_trajectories(
+        rng,
+        leader,
+        t_lo,
+        member_ids,
+        spread_fn,
+        jitter=eps / 40.0,
+    )
+    planted = PlantedConvoy(frozenset(member_ids), t_start, t_end)
+    return trajectories, planted

@@ -1,0 +1,47 @@
+"""Planar geometry substrate for convoy discovery.
+
+This package implements Definition 1 of the paper (the distance functions
+``D``, ``DPL``, ``DLL``, and ``Dmin``) plus the temporal extensions used by
+CuTS* (time-parameterized segment locations, the Closest Point of Approach
+time, and the tightened segment distance ``D*`` of Section 6.2).
+
+Everything here is deliberately dependency-free scalar math: the rest of the
+library calls these functions in tight inner loops (range searches inside
+DBSCAN), so they avoid any object allocation beyond plain tuples.
+"""
+
+from repro.geometry.bbox import BoundingBox, box_min_distance, box_of_points
+from repro.geometry.cpa import cpa_distance, cpa_time, segment_location_at
+from repro.geometry.distance import (
+    point_distance,
+    point_segment_distance,
+    segment_distance,
+    squared_point_distance,
+)
+from repro.geometry.vec import (
+    add,
+    dot,
+    norm,
+    scale,
+    squared_norm,
+    sub,
+)
+
+__all__ = [
+    "BoundingBox",
+    "add",
+    "box_min_distance",
+    "box_of_points",
+    "cpa_distance",
+    "cpa_time",
+    "dot",
+    "norm",
+    "point_distance",
+    "point_segment_distance",
+    "scale",
+    "segment_distance",
+    "segment_location_at",
+    "squared_norm",
+    "squared_point_distance",
+    "sub",
+]

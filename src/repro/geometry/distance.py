@@ -1,0 +1,135 @@
+"""Distance functions of Definition 1.
+
+The paper defines four distances; three live here and the box distance
+``Dmin`` lives in :mod:`repro.geometry.bbox`:
+
+* ``D(pu, pv)``      — Euclidean distance between two points
+                       (:func:`point_distance`);
+* ``DPL(p, l)``      — shortest distance between a point and any point on a
+                       line segment (:func:`point_segment_distance`);
+* ``DLL(lu, lv)``    — shortest distance between any two points on two line
+                       segments (:func:`segment_distance`).
+
+Segments are pairs of ``(x, y)`` tuples.  All functions return plain floats.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.geometry.vec import dot, squared_norm, sub
+
+
+def point_distance(pu, pv):
+    """Return ``D(pu, pv)``: the Euclidean distance between two points."""
+    return math.hypot(pu[0] - pv[0], pu[1] - pv[1])
+
+
+def squared_point_distance(pu, pv):
+    """Return ``D(pu, pv)^2`` without the square root.
+
+    Range searches compare against a threshold, so comparing squared
+    distances against a squared threshold saves a ``sqrt`` per candidate.
+    """
+    dx = pu[0] - pv[0]
+    dy = pu[1] - pv[1]
+    return dx * dx + dy * dy
+
+
+def _clamp01(value):
+    if value < 0.0:
+        return 0.0
+    if value > 1.0:
+        return 1.0
+    return value
+
+
+def point_segment_projection(p, a, b):
+    """Return the point on segment ``ab`` closest to ``p``.
+
+    The result is the orthogonal projection of ``p`` onto the supporting
+    line of ``ab``, clamped to the segment.  Degenerate segments (``a == b``)
+    are handled by returning ``a``.
+    """
+    ab = sub(b, a)
+    denom = squared_norm(ab)
+    if denom == 0.0:
+        return a
+    t = _clamp01(dot(sub(p, a), ab) / denom)
+    return (a[0] + ab[0] * t, a[1] + ab[1] * t)
+
+
+def point_segment_distance(p, a, b):
+    """Return ``DPL(p, l)``: shortest distance from point ``p`` to segment ``ab``."""
+    q = point_segment_projection(p, a, b)
+    return math.hypot(p[0] - q[0], p[1] - q[1])
+
+
+def point_line_distance(p, a, b):
+    """Return the perpendicular distance from ``p`` to the *infinite* line ``ab``.
+
+    The classical Douglas-Peucker algorithm [11] measures deviation with the
+    perpendicular distance to the chord's supporting line; we expose it
+    separately from :func:`point_segment_distance` because the two differ
+    for points whose projection falls outside the chord.
+
+    For a degenerate chord (``a == b``) the distance to the single point is
+    returned.
+    """
+    ab = sub(b, a)
+    denom = math.hypot(ab[0], ab[1])
+    if denom == 0.0:
+        return math.hypot(p[0] - a[0], p[1] - a[1])
+    cross = (b[0] - a[0]) * (a[1] - p[1]) - (a[0] - p[0]) * (b[1] - a[1])
+    return abs(cross) / denom
+
+
+def _segments_intersect(a, b, c, d):
+    """Return True if closed segments ``ab`` and ``cd`` intersect."""
+
+    def orient(p, q, r):
+        value = (q[0] - p[0]) * (r[1] - p[1]) - (q[1] - p[1]) * (r[0] - p[0])
+        if value > 0.0:
+            return 1
+        if value < 0.0:
+            return -1
+        return 0
+
+    def on_segment(p, q, r):
+        return (
+            min(p[0], q[0]) <= r[0] <= max(p[0], q[0])
+            and min(p[1], q[1]) <= r[1] <= max(p[1], q[1])
+        )
+
+    o1 = orient(a, b, c)
+    o2 = orient(a, b, d)
+    o3 = orient(c, d, a)
+    o4 = orient(c, d, b)
+    if o1 != o2 and o3 != o4:
+        return True
+    if o1 == 0 and on_segment(a, b, c):
+        return True
+    if o2 == 0 and on_segment(a, b, d):
+        return True
+    if o3 == 0 and on_segment(c, d, a):
+        return True
+    if o4 == 0 and on_segment(c, d, b):
+        return True
+    return False
+
+
+def segment_distance(a, b, c, d):
+    """Return ``DLL(lu, lv)``: shortest distance between segments ``ab`` and ``cd``.
+
+    If the segments intersect the distance is zero; otherwise the minimum is
+    attained at an endpoint of one segment against the other segment, so we
+    take the minimum of the four point-to-segment distances.
+    """
+    if _segments_intersect(a, b, c, d):
+        return 0.0
+    return min(
+        point_segment_distance(a, c, d),
+        point_segment_distance(b, c, d),
+        point_segment_distance(c, a, b),
+        point_segment_distance(d, a, b),
+    )

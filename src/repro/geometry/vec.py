@@ -1,0 +1,53 @@
+"""Tiny 2-D vector helpers.
+
+Points and vectors are plain ``(x, y)`` tuples of floats.  The functions are
+kept free of validation so they can be used in the innermost loops of the
+clustering range searches; all validation happens at the API boundaries
+(:mod:`repro.trajectory`).
+"""
+
+from __future__ import annotations
+
+import math
+
+Point = tuple  # (x, y) — alias used in type hints throughout the package
+
+
+def add(u, v):
+    """Return the component-wise sum ``u + v`` of two 2-D vectors."""
+    return (u[0] + v[0], u[1] + v[1])
+
+
+def sub(u, v):
+    """Return the component-wise difference ``u - v`` of two 2-D vectors."""
+    return (u[0] - v[0], u[1] - v[1])
+
+
+def scale(u, s):
+    """Return the vector ``u`` scaled by the scalar ``s``."""
+    return (u[0] * s, u[1] * s)
+
+
+def dot(u, v):
+    """Return the dot product of two 2-D vectors."""
+    return u[0] * v[0] + u[1] * v[1]
+
+
+def squared_norm(u):
+    """Return ``|u|^2``, avoiding the square root of :func:`norm`."""
+    return u[0] * u[0] + u[1] * u[1]
+
+
+def norm(u):
+    """Return the Euclidean norm ``|u|``."""
+    return math.hypot(u[0], u[1])
+
+
+def lerp(u, v, ratio):
+    """Linearly interpolate between ``u`` (ratio 0) and ``v`` (ratio 1).
+
+    This is the primitive behind both virtual-point generation in CMC
+    (Section 4: "we apply linear interpolation to create the virtual
+    points") and the DP* time-ratio location ``l'(t)`` of Section 6.2.
+    """
+    return (u[0] + (v[0] - u[0]) * ratio, u[1] + (v[1] - u[1]) * ratio)

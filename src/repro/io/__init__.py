@@ -1,0 +1,5 @@
+"""Trajectory database serialization."""
+
+from repro.io.csv_io import load_trajectories_csv, save_trajectories_csv
+
+__all__ = ["load_trajectories_csv", "save_trajectories_csv"]

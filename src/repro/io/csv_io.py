@@ -1,0 +1,88 @@
+"""CSV import/export in the ``object_id,t,x,y`` convention.
+
+The paper's Truck data came from rtreeportal.org, which distributes
+trajectories as flat delimited text with one sample per row.  This module
+reads and writes that shape so users can run convoy queries on their own
+GPS logs (see ``examples/``).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro.trajectory.database import TrajectoryDatabase
+from repro.trajectory.point import TrajectoryPoint
+from repro.trajectory.trajectory import Trajectory
+
+
+def save_trajectories_csv(database, path, header=True):
+    """Write a database as ``object_id,t,x,y`` rows, sorted by object then time.
+
+    Args:
+        database: the :class:`~repro.trajectory.TrajectoryDatabase` to dump.
+        path: destination file path.
+        header: write a ``object_id,t,x,y`` header row (default True).
+    """
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        if header:
+            writer.writerow(["object_id", "t", "x", "y"])
+        for trajectory in sorted(database, key=lambda tr: str(tr.object_id)):
+            for point in trajectory:
+                writer.writerow([trajectory.object_id, point.t, point.x, point.y])
+
+
+def load_trajectories_csv(path, has_header="auto"):
+    """Load a database from ``object_id,t,x,y`` rows.
+
+    Args:
+        path: source file path.
+        has_header: True/False, or ``"auto"`` to detect a header by trying
+            to parse the first row's ``t`` column as an integer.
+
+    Returns:
+        A :class:`~repro.trajectory.TrajectoryDatabase`.
+
+    Raises:
+        ValueError: on malformed rows (wrong column count, unparsable
+            numbers, duplicate samples) — bad input data should fail loudly
+            at load time, not corrupt query answers later.
+    """
+    path = Path(path)
+    samples = {}
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        rows = iter(reader)
+        first = next(rows, None)
+        if first is None:
+            return TrajectoryDatabase()
+        consume_first = True
+        if has_header == "auto":
+            try:
+                int(first[1])
+            except (ValueError, IndexError):
+                consume_first = False
+        elif has_header:
+            consume_first = False
+        if consume_first:
+            _ingest_row(samples, first, line=1)
+        for line, row in enumerate(rows, start=2):
+            if row:
+                _ingest_row(samples, row, line)
+    trajectories = [
+        Trajectory(object_id, points) for object_id, points in samples.items()
+    ]
+    return TrajectoryDatabase(trajectories)
+
+
+def _ingest_row(samples, row, line):
+    if len(row) != 4:
+        raise ValueError(f"line {line}: expected 4 columns, got {len(row)}")
+    object_id, t_raw, x_raw, y_raw = row
+    try:
+        point = TrajectoryPoint(float(x_raw), float(y_raw), int(t_raw))
+    except ValueError as exc:
+        raise ValueError(f"line {line}: {exc}") from None
+    samples.setdefault(object_id, []).append(point)

@@ -1,0 +1,47 @@
+"""Trajectory line-simplification (Sections 2.2, 5.1, 6.1, 6.2).
+
+Three simplifiers, all sharing one divide-and-conquer engine and all
+producing :class:`SimplifiedTrajectory` objects that carry per-segment
+**actual tolerances** (Definition 4):
+
+* :func:`douglas_peucker` (**DP**) — splits at the point of maximum spatial
+  deviation from the chord;
+* :func:`douglas_peucker_plus` (**DP+**, Section 6.1) — among the points
+  whose deviation exceeds δ, splits at the one closest to the middle of the
+  sub-trajectory, balancing the divide-and-conquer and shrinking the actual
+  tolerances;
+* :func:`douglas_peucker_star` (**DP***, Meratnia & de By, Section 6.2) —
+  measures deviation against the *time-ratio* location ``l'(t)`` instead of
+  the nearest point of the chord, so the simplified segments support the
+  tightened CuTS* distance ``D*``.
+
+Deviation measure note: Definition 4 defines the actual tolerance with the
+point-to-*segment* distance ``DPL`` (not the perpendicular distance to the
+infinite chord line), so DP and DP+ here use ``DPL`` as their split
+criterion too.  That keeps the library-wide invariant — every actual
+tolerance is at most the global δ — which Lemmas 1-3 rely on.
+"""
+
+from repro.simplification.base import SimplifiedTrajectory, Simplifier
+from repro.simplification.dp import douglas_peucker
+from repro.simplification.dp_plus import douglas_peucker_plus
+from repro.simplification.dp_star import douglas_peucker_star
+from repro.simplification.stats import simplification_report, vertex_reduction
+
+SIMPLIFIERS = {
+    "dp": douglas_peucker,
+    "dp+": douglas_peucker_plus,
+    "dp*": douglas_peucker_star,
+}
+"""Registry mapping the paper's simplifier names to their implementations."""
+
+__all__ = [
+    "SIMPLIFIERS",
+    "SimplifiedTrajectory",
+    "Simplifier",
+    "douglas_peucker",
+    "douglas_peucker_plus",
+    "douglas_peucker_star",
+    "simplification_report",
+    "vertex_reduction",
+]

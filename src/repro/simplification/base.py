@@ -1,0 +1,227 @@
+"""Shared machinery for the three simplifiers.
+
+The DP family differs only in two decisions — how a point's deviation from
+a chord is measured, and which offending point becomes the split point — so
+one iterative divide-and-conquer engine (:class:`Simplifier`) hosts all
+three.  The engine also computes, for every emitted chord, the **actual
+tolerance** δ(l') of Definition 4 (the maximum deviation of the original
+points the chord replaces) at no extra cost: the deviations are already in
+hand when the split decision is made, exactly as the paper notes
+("the derivation of these tolerance values can be seamlessly integrated
+into the DP algorithm").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.trajectory.point import TrajectoryPoint
+from repro.trajectory.segment import TimestampedSegment
+
+
+@dataclass(frozen=True)
+class SimplifiedTrajectory:
+    """The simplified polyline ``o'`` of one object.
+
+    Attributes:
+        object_id: identifier of the moving object.
+        points: tuple of kept :class:`TrajectoryPoint` (a subset of the
+            original samples, in time order).
+        segments: tuple of :class:`TimestampedSegment`, one per consecutive
+            pair of kept points.  A single-point trajectory yields one
+            degenerate (zero-length, zero-duration) segment so that the
+            object still participates in the filter's clustering.
+        tolerances: tuple of actual tolerances δ(l'), parallel to
+            ``segments``.
+        delta: the global tolerance δ the simplifier ran with.
+        original_size: ``|o|``, the number of points before simplification.
+    """
+
+    object_id: object
+    points: tuple
+    segments: tuple
+    tolerances: tuple
+    delta: float
+    original_size: int
+    _prefix_max_tol: tuple = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self):
+        if not self.points:
+            raise ValueError(f"simplified trajectory {self.object_id!r} is empty")
+        if len(self.segments) != len(self.tolerances):
+            raise ValueError(
+                f"{len(self.segments)} segments vs {len(self.tolerances)} tolerances"
+            )
+        object.__setattr__(self, "_prefix_max_tol", ())
+
+    def __len__(self):
+        """Number of kept points ``|o'|``."""
+        return len(self.points)
+
+    @property
+    def t_start(self):
+        """Start of ``o'.tau`` (same as the original trajectory's)."""
+        return self.points[0].t
+
+    @property
+    def t_end(self):
+        """End of ``o'.tau`` (same as the original trajectory's)."""
+        return self.points[-1].t
+
+    @property
+    def tau(self):
+        """The time interval ``o'.tau``."""
+        return (self.t_start, self.t_end)
+
+    @property
+    def actual_tolerance(self):
+        """δ(o'): the maximum actual tolerance over all segments."""
+        return max(self.tolerances)
+
+    @property
+    def reduction_ratio(self):
+        """Fraction of vertices removed, in [0, 1)."""
+        if self.original_size == 0:
+            return 0.0
+        return 1.0 - len(self.points) / self.original_size
+
+    def overlaps_interval(self, t_lo, t_hi):
+        """Return True if ``o'.tau`` intersects ``[t_lo, t_hi]``."""
+        return self.t_start <= t_hi and t_lo <= self.t_end
+
+    def segments_overlapping(self, t_lo, t_hi):
+        """Return ``[(segment, tolerance), ...]`` intersecting ``[t_lo, t_hi]``.
+
+        This is the "insert l_i^j ∈ o'_i (intersecting time interval of
+        T_z)" step of Algorithm 2, including the paper's rule that a
+        segment straddling a partition boundary is inserted into *both*
+        partitions (Figure 9(b)'s ``l_3^2``).
+        """
+        found = []
+        for segment, tolerance in zip(self.segments, self.tolerances):
+            if segment.t_start > t_hi:
+                break
+            if segment.t_end >= t_lo:
+                found.append((segment, tolerance))
+        return found
+
+
+class Simplifier:
+    """Iterative divide-and-conquer engine shared by DP, DP+, and DP*.
+
+    Subclass/instance behaviour is injected through two callables:
+
+    Args:
+        deviation_fn: ``f(xs, ys, times, lo, hi, i) -> float`` measuring how
+            far original point ``i`` deviates from the chord ``lo..hi``.
+        split_chooser: ``f(deviations, lo, hi, delta) -> int | None`` given
+            the interior deviations (list of ``(index, deviation)``)
+            returns the split index, or ``None`` to accept the chord.
+        name: human-readable simplifier name for reprs and reports.
+    """
+
+    def __init__(self, deviation_fn, split_chooser, name):
+        self._deviation_fn = deviation_fn
+        self._split_chooser = split_chooser
+        self.name = name
+
+    def __repr__(self):
+        return f"Simplifier({self.name})"
+
+    def __call__(self, trajectory, delta):
+        """Simplify ``trajectory`` with global tolerance ``delta``.
+
+        Returns a :class:`SimplifiedTrajectory` whose every actual
+        tolerance is at most ``delta``.
+        """
+        if delta < 0:
+            raise ValueError(f"delta must be non-negative, got {delta}")
+        times, xs, ys = trajectory.coordinates()
+        n = len(times)
+        if n == 1:
+            point = TrajectoryPoint(xs[0], ys[0], times[0])
+            segment = TimestampedSegment(
+                (xs[0], ys[0]), (xs[0], ys[0]), times[0], times[0]
+            )
+            return SimplifiedTrajectory(
+                trajectory.object_id, (point,), (segment,), (0.0,), delta, 1
+            )
+        kept = [0, n - 1]
+        chord_tolerance = {}
+        stack = [(0, n - 1)]
+        while stack:
+            lo, hi = stack.pop()
+            if hi - lo < 2:
+                chord_tolerance[(lo, hi)] = 0.0
+                continue
+            deviations = []
+            max_dev = 0.0
+            for i in range(lo + 1, hi):
+                dev = self._deviation_fn(xs, ys, times, lo, hi, i)
+                deviations.append((i, dev))
+                if dev > max_dev:
+                    max_dev = dev
+            split = self._split_chooser(deviations, lo, hi, delta)
+            if split is None:
+                chord_tolerance[(lo, hi)] = max_dev
+            else:
+                kept.append(split)
+                stack.append((lo, split))
+                stack.append((split, hi))
+        kept.sort()
+        points = tuple(
+            TrajectoryPoint(xs[i], ys[i], times[i]) for i in kept
+        )
+        segments = []
+        tolerances = []
+        for a, b in zip(kept, kept[1:]):
+            segments.append(
+                TimestampedSegment(
+                    (xs[a], ys[a]), (xs[b], ys[b]), times[a], times[b]
+                )
+            )
+            tolerances.append(chord_tolerance[(a, b)])
+        return SimplifiedTrajectory(
+            trajectory.object_id,
+            points,
+            tuple(segments),
+            tuple(tolerances),
+            delta,
+            n,
+        )
+
+
+def max_deviation_split(deviations, lo, hi, delta):
+    """Split rule of classical DP: the farthest offending point.
+
+    Returns ``None`` when every interior deviation is within ``delta``
+    (chord accepted), otherwise the index of the maximum deviation.
+    """
+    best_index = None
+    best_dev = delta
+    for index, dev in deviations:
+        if dev > best_dev:
+            best_dev = dev
+            best_index = index
+    return best_index
+
+
+def middle_most_split(deviations, lo, hi, delta):
+    """Split rule of DP+ (Section 6.1): the offender closest to the middle.
+
+    Among the interior points whose deviation exceeds ``delta``, choose the
+    one whose index is nearest to the midpoint of ``lo..hi`` so that each
+    division produces two sub-problems of similar size.  Returns ``None``
+    when the chord is accepted.
+    """
+    middle = (lo + hi) / 2.0
+    best_index = None
+    best_gap = None
+    for index, dev in deviations:
+        if dev <= delta:
+            continue
+        gap = abs(index - middle)
+        if best_gap is None or gap < best_gap:
+            best_gap = gap
+            best_index = index
+    return best_index

@@ -1,0 +1,24 @@
+"""Classical Douglas-Peucker simplification (reference [11]; Section 5.1)."""
+
+from __future__ import annotations
+
+from repro.geometry.distance import point_segment_distance
+from repro.simplification.base import Simplifier, max_deviation_split
+
+
+def spatial_deviation(xs, ys, times, lo, hi, i):
+    """Deviation of point ``i`` from chord ``lo..hi``: ``DPL(p_i, chord)``.
+
+    Definition 4 measures tolerance with the point-to-segment distance, so
+    the split criterion uses the same measure (see the package docstring
+    for why this differs from the perpendicular-to-line variant).
+    """
+    return point_segment_distance(
+        (xs[i], ys[i]), (xs[lo], ys[lo]), (xs[hi], ys[hi])
+    )
+
+
+#: **DP** — split at the point of maximum spatial deviation.  The classical
+#: algorithm of Douglas & Peucker (1973) applied to a trajectory's spatial
+#: footprint, ignoring time.
+douglas_peucker = Simplifier(spatial_deviation, max_deviation_split, "DP")

@@ -1,0 +1,45 @@
+"""DP* — time-aware simplification (Meratnia & de By [23]; Sections 2.2, 6.2).
+
+Where DP measures how far a point strays from the chord *geometrically*,
+DP* measures how far the object strays from where a constant-velocity
+object travelling the chord *would be at the same instant*: the deviation
+of ``p_i`` is ``D(p_i, l'(t_i))`` with ``l'(t)`` the time-ratio location of
+Section 6.2 (also known in the literature as the synchronous Euclidean
+distance).
+
+Consequences, both exploited by CuTS*:
+
+* actual tolerances bound ``D(o(t), l'(t))`` — exactly the premise Lemma 3
+  needs for the tightened ``D*`` distance;
+* the time-ratio deviation is never smaller than the spatial deviation, so
+  DP* keeps more points than DP (lower reduction power, Figure 15(a)) but
+  its segments admit much tighter distance bounds.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.simplification.base import Simplifier, max_deviation_split
+
+
+def time_ratio_deviation(xs, ys, times, lo, hi, i):
+    """Deviation of point ``i`` from the chord's time-ratio location.
+
+    ``l'(t_i) = p_lo + (t_i - t_lo) / (t_hi - t_lo) * (p_hi - p_lo)`` —
+    the position, at ``p_i``'s own timestamp, of an object moving uniformly
+    along the chord.
+    """
+    span = times[hi] - times[lo]
+    if span == 0:
+        return math.hypot(xs[i] - xs[lo], ys[i] - ys[lo])
+    ratio = (times[i] - times[lo]) / span
+    proj_x = xs[lo] + (xs[hi] - xs[lo]) * ratio
+    proj_y = ys[lo] + (ys[hi] - ys[lo]) * ratio
+    return math.hypot(xs[i] - proj_x, ys[i] - proj_y)
+
+
+#: **DP*** — DP's max-deviation split rule over the time-ratio deviation.
+douglas_peucker_star = Simplifier(
+    time_ratio_deviation, max_deviation_split, "DP*"
+)

@@ -1,0 +1,41 @@
+"""Simplification statistics (the quantities plotted in Figure 15)."""
+
+from __future__ import annotations
+
+
+def vertex_reduction(simplified_list):
+    """Return the vertex reduction percentage over a set of trajectories.
+
+    ``100 * (1 - kept_points / original_points)`` — the y axis of
+    Figure 15(a).
+    """
+    original = sum(s.original_size for s in simplified_list)
+    kept = sum(len(s) for s in simplified_list)
+    if original == 0:
+        return 0.0
+    return 100.0 * (1.0 - kept / original)
+
+
+def simplification_report(simplified_list):
+    """Summarize a simplification run for reporting.
+
+    Returns a dict with total original/kept points, the reduction
+    percentage, and the distribution of actual tolerances (max and mean) —
+    the inputs to the Figure 14/15 analyses.
+    """
+    if not simplified_list:
+        return {
+            "original_points": 0,
+            "kept_points": 0,
+            "vertex_reduction_pct": 0.0,
+            "max_actual_tolerance": 0.0,
+            "mean_actual_tolerance": 0.0,
+        }
+    tolerances = [tol for s in simplified_list for tol in s.tolerances]
+    return {
+        "original_points": sum(s.original_size for s in simplified_list),
+        "kept_points": sum(len(s) for s in simplified_list),
+        "vertex_reduction_pct": vertex_reduction(simplified_list),
+        "max_actual_tolerance": max(tolerances),
+        "mean_actual_tolerance": sum(tolerances) / len(tolerances),
+    }

@@ -1,0 +1,37 @@
+"""Timestamped trajectory samples."""
+
+from __future__ import annotations
+
+import math
+from typing import NamedTuple
+
+
+class TrajectoryPoint(NamedTuple):
+    """One sample ``p_j = (x_j, y_j, t_j)`` of an object's movement.
+
+    ``t`` is an integer time point from the paper's discrete time domain
+    ``{t1, ..., tT}``; ``x`` and ``y`` are planar coordinates in whatever
+    unit the dataset uses (the paper's ``e`` thresholds are in the same
+    unit).
+    """
+
+    x: float
+    y: float
+    t: int
+
+    @property
+    def xy(self):
+        """The spatial component ``(x, y)`` as a plain tuple."""
+        return (self.x, self.y)
+
+    def distance_to(self, other):
+        """Euclidean distance ``D`` between the spatial components."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def validate(self):
+        """Raise :class:`ValueError` on NaN/inf coordinates or non-int time."""
+        if not isinstance(self.t, int):
+            raise ValueError(f"time point must be an integer, got {self.t!r}")
+        if not (math.isfinite(self.x) and math.isfinite(self.y)):
+            raise ValueError(f"non-finite coordinates ({self.x}, {self.y})")
+        return self

@@ -1,0 +1,107 @@
+"""Timestamped polyline segments.
+
+A :class:`TimestampedSegment` is one edge ``l'`` of a (possibly simplified)
+trajectory.  Unlike a bare geometric segment it remembers its time interval
+``l'.tau = [t_start, t_end]`` — the key piece of information that lets the
+CuTS filter reason about *when* two segments could have been close (the
+``l'q.tau ∩ l'i.tau != ∅`` guards of Lemmas 1-3) and lets CuTS* evaluate the
+time-parameterized location ``l'(t)`` of Section 6.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.cpa import cpa_distance, segment_location_at
+from repro.geometry.distance import point_segment_distance, segment_distance
+
+
+@dataclass(frozen=True)
+class TimestampedSegment:
+    """A line segment ``l'`` travelled from ``start`` at ``t_start`` to ``end`` at ``t_end``.
+
+    Attributes:
+        start: ``(x, y)`` location at ``t_start``.
+        end: ``(x, y)`` location at ``t_end``.
+        t_start: first time point covered by the segment (inclusive).
+        t_end: last time point covered by the segment (inclusive);
+            ``t_end >= t_start``.
+    """
+
+    start: tuple
+    end: tuple
+    t_start: int
+    t_end: int
+    _bbox: BoundingBox = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self):
+        if self.t_end < self.t_start:
+            raise ValueError(
+                f"segment time interval reversed: [{self.t_start}, {self.t_end}]"
+            )
+        object.__setattr__(
+            self,
+            "_bbox",
+            BoundingBox(
+                min(self.start[0], self.end[0]),
+                min(self.start[1], self.end[1]),
+                max(self.start[0], self.end[0]),
+                max(self.start[1], self.end[1]),
+            ),
+        )
+
+    @property
+    def tau(self):
+        """The closed time interval ``l'.tau`` as a ``(t_start, t_end)`` tuple."""
+        return (self.t_start, self.t_end)
+
+    @property
+    def duration(self):
+        """Number of unit time steps spanned (``t_end - t_start``)."""
+        return self.t_end - self.t_start
+
+    @property
+    def bbox(self):
+        """The minimum bounding box ``B(l')`` of the segment."""
+        return self._bbox
+
+    def covers_time(self, t):
+        """Return True if ``t`` lies inside ``l'.tau``."""
+        return self.t_start <= t <= self.t_end
+
+    def overlaps_interval(self, t_lo, t_hi):
+        """Return True if ``l'.tau`` intersects the closed interval ``[t_lo, t_hi]``."""
+        return self.t_start <= t_hi and t_lo <= self.t_end
+
+    def location_at(self, t):
+        """Return the time-ratio location ``l'(t)`` (Section 6.2).
+
+        The location is the linear interpolation between the endpoints using
+        the *time* ratio, i.e. the position of a constant-velocity object.
+        """
+        return segment_location_at(self.start, self.end, self.t_start, self.t_end, t)
+
+    def spatial_distance_to(self, other):
+        """Return ``DLL(self, other)``: the purely spatial segment distance."""
+        return segment_distance(self.start, self.end, other.start, other.end)
+
+    def cpa_distance_to(self, other):
+        """Return ``D*(self, other)``: distance at the CPA time (Section 6.2).
+
+        ``inf`` when the two segments' time intervals are disjoint.
+        """
+        return cpa_distance(
+            self.start,
+            self.end,
+            self.t_start,
+            self.t_end,
+            other.start,
+            other.end,
+            other.t_start,
+            other.t_end,
+        )
+
+    def distance_to_point(self, p):
+        """Return ``DPL(p, self)`` for a bare ``(x, y)`` point."""
+        return point_segment_distance(p, self.start, self.end)

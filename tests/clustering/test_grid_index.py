@@ -1,0 +1,99 @@
+"""Tests for the uniform grid index."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.clustering.grid_index import GridIndex
+
+coord = st.floats(min_value=-200, max_value=200, allow_nan=False)
+
+
+class TestConstruction:
+    def test_rejects_non_positive_cell(self):
+        with pytest.raises(ValueError):
+            GridIndex(0)
+        with pytest.raises(ValueError):
+            GridIndex(-1)
+
+    def test_bulk_load(self):
+        index = GridIndex(1.0, {"a": (0, 0), "b": (5, 5)})
+        assert len(index) == 2
+        assert "a" in index
+
+    def test_duplicate_id_rejected(self):
+        index = GridIndex(1.0, {"a": (0, 0)})
+        with pytest.raises(ValueError):
+            index.insert("a", (1, 1))
+
+    def test_location_of(self):
+        index = GridIndex(1.0, {"a": (3, 4)})
+        assert index.location_of("a") == (3, 4)
+
+
+class TestNeighborQueries:
+    def test_includes_self(self):
+        index = GridIndex(1.0, {"a": (0, 0)})
+        assert index.neighbors_of("a", 1.0) == ["a"]
+
+    def test_boundary_distance_included(self):
+        index = GridIndex(1.0, {"a": (0, 0), "b": (1.0, 0)})
+        assert set(index.neighbors_of("a", 1.0)) == {"a", "b"}
+
+    def test_just_outside_excluded(self):
+        index = GridIndex(1.0, {"a": (0, 0), "b": (1.0001, 0)})
+        assert set(index.neighbors_of("a", 1.0)) == {"a"}
+
+    def test_negative_radius_rejected(self):
+        index = GridIndex(1.0, {"a": (0, 0)})
+        with pytest.raises(ValueError):
+            index.neighbors_within((0, 0), -1)
+
+    def test_radius_larger_than_cell(self):
+        index = GridIndex(1.0, {"a": (0, 0), "b": (4.5, 0), "c": (6, 0)})
+        assert set(index.neighbors_of("a", 5.0)) == {"a", "b"}
+
+    def test_radius_smaller_than_cell(self):
+        index = GridIndex(10.0, {"a": (0, 0), "b": (2, 0), "c": (9, 0)})
+        assert set(index.neighbors_of("a", 3.0)) == {"a", "b"}
+
+    def test_negative_coordinates(self):
+        index = GridIndex(1.0, {"a": (-5.5, -5.5), "b": (-5.0, -5.5)})
+        assert set(index.neighbors_of("a", 0.6)) == {"a", "b"}
+
+    @given(
+        st.lists(st.tuples(coord, coord), min_size=1, max_size=60),
+        st.floats(min_value=0.1, max_value=50),
+        st.floats(min_value=0.5, max_value=30),
+    )
+    def test_matches_brute_force(self, pts, cell, radius):
+        """The index returns exactly the brute-force e-neighbourhood."""
+        points = {i: p for i, p in enumerate(pts)}
+        index = GridIndex(cell, points)
+        query = pts[0]
+        expected = {
+            i
+            for i, (x, y) in points.items()
+            if math.hypot(x - query[0], y - query[1]) <= radius
+        }
+        assert set(index.neighbors_within(query, radius)) == expected
+
+    def test_large_random_consistency(self):
+        rng = random.Random(42)
+        points = {
+            i: (rng.uniform(-100, 100), rng.uniform(-100, 100))
+            for i in range(500)
+        }
+        index = GridIndex(7.0, points)
+        for probe in range(20):
+            qid = rng.randrange(500)
+            qx, qy = points[qid]
+            expected = {
+                i
+                for i, (x, y) in points.items()
+                if math.hypot(x - qx, y - qy) <= 7.0
+            }
+            assert set(index.neighbors_of(qid, 7.0)) == expected

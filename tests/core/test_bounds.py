@@ -1,0 +1,172 @@
+"""Property tests for Lemmas 1-3 — the filter's no-false-dismissal core.
+
+Each lemma is tested in its contrapositive operational form: whenever the
+lemma's premise holds for a pair of simplified segments, the *original*
+objects must be farther than ``e`` apart at every shared time point.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.clustering.polyline import PartitionPolyline
+from repro.core.bounds import lemma1_prunes, lemma2_prunes, lemma3_prunes, omega
+from repro.geometry.bbox import box_of_points
+from repro.geometry.distance import point_distance
+from repro.simplification import douglas_peucker, douglas_peucker_star
+from repro.trajectory.trajectory import Trajectory
+
+
+def random_trajectory(rng, n, step=4.0):
+    x, y = rng.uniform(-40, 40), rng.uniform(-40, 40)
+    points = []
+    t = 0
+    for _ in range(n):
+        points.append((x, y, t))
+        x += rng.uniform(-step, step)
+        y += rng.uniform(-step, step)
+        t += rng.randint(1, 2)
+    return Trajectory("o", points)
+
+
+def shared_times(tr_a, tr_b):
+    lo = max(tr_a.start_time, tr_b.start_time)
+    hi = min(tr_a.end_time, tr_b.end_time)
+    return range(lo, hi + 1)
+
+
+def segment_covering(simplified, t):
+    for segment, tolerance in zip(simplified.segments, simplified.tolerances):
+        if segment.covers_time(t):
+            return segment, tolerance
+    raise AssertionError(f"no segment covers t={t}")
+
+
+class TestLemma1:
+    def test_premise_implies_separation(self):
+        rng = random.Random(21)
+        checked = 0
+        for trial in range(150):
+            tr_a = random_trajectory(rng, rng.randint(2, 25))
+            tr_b = random_trajectory(rng, rng.randint(2, 25))
+            delta = rng.uniform(0.2, 6)
+            eps = rng.uniform(0.5, 8)
+            sa = douglas_peucker(tr_a, delta)
+            sb = douglas_peucker(tr_b, delta)
+            for t in shared_times(tr_a, tr_b):
+                seg_a, tol_a = segment_covering(sa, t)
+                seg_b, tol_b = segment_covering(sb, t)
+                if lemma1_prunes(seg_a, tol_a, seg_b, tol_b, eps):
+                    checked += 1
+                    assert point_distance(
+                        tr_a.location_at(t), tr_b.location_at(t)
+                    ) > eps
+        assert checked > 50  # the premise must actually fire sometimes
+
+    def test_close_pair_never_pruned(self):
+        # Two identical trajectories: distance 0 at every time; the lemma
+        # premise must never hold.
+        tr = random_trajectory(random.Random(5), 20)
+        simplified = douglas_peucker(tr, 2.0)
+        for segment, tolerance in zip(simplified.segments, simplified.tolerances):
+            assert not lemma1_prunes(segment, tolerance, segment, tolerance, 1.0)
+
+
+class TestLemma3:
+    def test_premise_implies_separation(self):
+        rng = random.Random(22)
+        checked = 0
+        for trial in range(150):
+            tr_a = random_trajectory(rng, rng.randint(2, 25))
+            tr_b = random_trajectory(rng, rng.randint(2, 25))
+            delta = rng.uniform(0.2, 6)
+            eps = rng.uniform(0.5, 8)
+            sa = douglas_peucker_star(tr_a, delta)
+            sb = douglas_peucker_star(tr_b, delta)
+            for t in shared_times(tr_a, tr_b):
+                seg_a, tol_a = segment_covering(sa, t)
+                seg_b, tol_b = segment_covering(sb, t)
+                if lemma3_prunes(seg_a, tol_a, seg_b, tol_b, eps):
+                    checked += 1
+                    assert point_distance(
+                        tr_a.location_at(t), tr_b.location_at(t)
+                    ) > eps
+        assert checked > 50
+
+    def test_lemma3_at_least_as_sharp_as_lemma1(self):
+        """D* >= DLL, so whenever Lemma 1 prunes a DP*-simplified pair,
+        Lemma 3 prunes it too."""
+        rng = random.Random(23)
+        for trial in range(100):
+            tr_a = random_trajectory(rng, rng.randint(2, 20))
+            tr_b = random_trajectory(rng, rng.randint(2, 20))
+            sa = douglas_peucker_star(tr_a, 2.0)
+            sb = douglas_peucker_star(tr_b, 2.0)
+            eps = rng.uniform(0.5, 8)
+            for t in shared_times(tr_a, tr_b):
+                seg_a, tol_a = segment_covering(sa, t)
+                seg_b, tol_b = segment_covering(sb, t)
+                if lemma1_prunes(seg_a, tol_a, seg_b, tol_b, eps):
+                    assert lemma3_prunes(seg_a, tol_a, seg_b, tol_b, eps)
+
+
+class TestLemma2:
+    def test_premise_implies_lemma1_for_every_member(self):
+        rng = random.Random(24)
+        fired = 0
+        for trial in range(100):
+            tr_q = random_trajectory(rng, rng.randint(2, 15))
+            group = [random_trajectory(rng, rng.randint(2, 15)) for _ in range(4)]
+            delta = rng.uniform(0.2, 4)
+            eps = rng.uniform(0.5, 6)
+            sq = douglas_peucker(tr_q, delta)
+            simplified_group = [douglas_peucker(tr, delta) for tr in group]
+            segs = [s.segments[0] for s in simplified_group]
+            tols = [s.tolerances[0] for s in simplified_group]
+            group_box = segs[0].bbox
+            for seg in segs[1:]:
+                group_box = group_box.union(seg.bbox)
+            group_tol = max(tols)
+            seg_q, tol_q = sq.segments[0], sq.tolerances[0]
+            if lemma2_prunes(seg_q.bbox, tol_q, group_box, group_tol, eps):
+                fired += 1
+                for seg, tol in zip(segs, tols):
+                    assert lemma1_prunes(seg_q, tol_q, seg, tol, eps)
+        assert fired > 10
+
+
+class TestOmega:
+    def test_omega_lower_bounds_true_distance(self):
+        """ω(o'q, o'i) <= min over shared t of D(oq(t), oi(t)) — the
+        pruning value never overestimates the true closest approach."""
+        rng = random.Random(25)
+        for trial in range(60):
+            tr_a = random_trajectory(rng, rng.randint(3, 20))
+            tr_b = random_trajectory(rng, rng.randint(3, 20))
+            times = shared_times(tr_a, tr_b)
+            if not times:
+                continue
+            for simplify, mode in (
+                (douglas_peucker, "dll"),
+                (douglas_peucker_star, "cpa"),
+            ):
+                sa = simplify(tr_a, 2.0)
+                sb = simplify(tr_b, 2.0)
+                poly_a = PartitionPolyline("a", sa.segments, sa.tolerances)
+                poly_b = PartitionPolyline("b", sb.segments, sb.tolerances)
+                w = omega(poly_a, poly_b, mode)
+                true_min = min(
+                    point_distance(tr_a.location_at(t), tr_b.location_at(t))
+                    for t in times
+                )
+                assert w <= true_min + 1e-9
+
+    def test_omega_infinite_for_disjoint_times(self):
+        a = Trajectory("a", [(0, 0, 0), (1, 0, 3)])
+        b = Trajectory("b", [(0, 0, 10), (1, 0, 13)])
+        sa = douglas_peucker(a, 0.5)
+        sb = douglas_peucker(b, 0.5)
+        poly_a = PartitionPolyline("a", sa.segments, sa.tolerances)
+        poly_b = PartitionPolyline("b", sb.segments, sb.tolerances)
+        assert omega(poly_a, poly_b) == math.inf

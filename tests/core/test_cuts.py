@@ -1,0 +1,226 @@
+"""Tests for the CuTS family — filter behaviour, refinement, and the
+exactness guarantee (CuTS == CMC) that is the paper's headline claim."""
+
+import random
+
+import pytest
+
+from repro.core.cmc import cmc
+from repro.core.convoy import Convoy
+from repro.core.cuts import VARIANTS, CutsResult, cuts, cuts_filter, refinement_unit
+from repro.core.verification import convoy_sets_equal, normalize_convoys
+from repro.simplification import SIMPLIFIERS
+from repro.trajectory.database import TrajectoryDatabase
+from repro.trajectory.trajectory import Trajectory
+
+
+def random_database(seed, n_lo=4, n_hi=12, t_hi=40):
+    rng = random.Random(seed)
+    n = rng.randint(n_lo, n_hi)
+    T = rng.randint(10, t_hi)
+    trajs = []
+    for i in range(n):
+        a = rng.randint(0, T // 2)
+        b = rng.randint(a + 3, T)
+        pts = []
+        x, y = rng.uniform(0, 50), rng.uniform(0, 50)
+        for t in range(a, b + 1):
+            x += rng.uniform(-2, 2)
+            y += rng.uniform(-2, 2)
+            if rng.random() < 0.85 or t in (a, b):
+                pts.append((x, y, t))
+        trajs.append(Trajectory(f"o{i}", pts))
+    return TrajectoryDatabase(trajs), rng
+
+
+def db_of(*specs):
+    return TrajectoryDatabase(Trajectory(oid, pts) for oid, pts in specs)
+
+
+def straight(oid, x0, y0, t0, t1):
+    return (oid, [(x0 + (t - t0), y0, t) for t in range(t0, t1 + 1)])
+
+
+class TestParameterValidation:
+    def test_unknown_variant(self):
+        db = db_of(straight("a", 0, 0, 0, 5))
+        with pytest.raises(ValueError):
+            cuts(db, 2, 2, 1.0, variant="cuts**")
+
+    def test_bad_query_params(self):
+        db = db_of(straight("a", 0, 0, 0, 5))
+        with pytest.raises(ValueError):
+            cuts(db, 0, 2, 1.0)
+        with pytest.raises(ValueError):
+            cuts(db, 2, 0, 1.0)
+        with pytest.raises(ValueError):
+            cuts(db, 2, 2, -1.0)
+
+    def test_empty_database(self):
+        result = cuts(TrajectoryDatabase(), 2, 2, 1.0)
+        assert result.convoys == []
+
+    def test_variant_registry_matches_paper_table(self):
+        assert VARIANTS["cuts"] == {"simplifier": "dp", "distance_mode": "dll"}
+        assert VARIANTS["cuts+"] == {"simplifier": "dp+", "distance_mode": "dll"}
+        assert VARIANTS["cuts*"] == {"simplifier": "dp*", "distance_mode": "cpa"}
+
+
+class TestSimpleQueries:
+    @pytest.mark.parametrize("variant", ["cuts", "cuts+", "cuts*"])
+    def test_parallel_pair(self, variant):
+        db = db_of(
+            straight("a", 0, 0, 0, 9),
+            straight("b", 0, 1, 0, 9),
+            straight("c", 0, 200, 0, 9),
+        )
+        result = cuts(db, 2, 5, 2.0, variant=variant)
+        assert result.convoys == [Convoy(["a", "b"], 0, 9)]
+
+    @pytest.mark.parametrize("variant", ["cuts", "cuts+", "cuts*"])
+    def test_no_convoy(self, variant):
+        db = db_of(
+            straight("a", 0, 0, 0, 9),
+            straight("b", 0, 500, 0, 9),
+        )
+        result = cuts(db, 2, 5, 2.0, variant=variant)
+        assert result.convoys == []
+
+    def test_result_instrumentation(self):
+        db = db_of(
+            straight("a", 0, 0, 0, 9),
+            straight("b", 0, 1, 0, 9),
+        )
+        result = cuts(db, 2, 5, 2.0, delta=0.5, lam=3)
+        assert isinstance(result, CutsResult)
+        assert result.delta == 0.5
+        assert result.lam == 3
+        assert set(result.durations) == {"simplification", "filter", "refinement"}
+        assert result.total_time >= 0
+        assert result.refinement_unit > 0
+        assert result.simplification["original_points"] == 20
+
+    def test_auto_parameters_derived(self):
+        db, _ = random_database(0)
+        result = cuts(db, 2, 3, 5.0)
+        assert result.delta > 0
+        assert result.lam >= 2
+
+
+class TestFilterStep:
+    def _simplify(self, db, delta, name="dp"):
+        return [SIMPLIFIERS[name](tr, delta) for tr in db]
+
+    def test_filter_never_dismisses_true_convoy(self):
+        """Core guarantee: every CMC convoy lies inside some candidate
+        (objects within the candidate's window clusters, interval within
+        the candidate's window)."""
+        for seed in range(25):
+            db, rng = random_database(seed)
+            m, k = rng.randint(2, 3), rng.randint(2, 5)
+            eps = rng.uniform(3, 9)
+            delta = rng.uniform(0.1, eps)
+            lam = rng.randint(1, 8)
+            exact = cmc(db, m, k, eps)
+            simplified = self._simplify(db, delta)
+            candidates = cuts_filter(
+                simplified, m, k, eps, lam, db.min_time, db.max_time
+            )
+            for convoy in exact:
+                holder = [
+                    c
+                    for c in candidates
+                    if c.t_start <= convoy.t_start
+                    and convoy.t_end <= c.t_end
+                    and convoy.objects <= c.union
+                ]
+                assert holder, f"seed={seed}: {convoy} missed by the filter"
+
+    def test_filter_stats_populated(self):
+        db, _ = random_database(3)
+        stats = {}
+        simplified = self._simplify(db, 1.0)
+        cuts_filter(
+            simplified, 2, 2, 5.0, 4, db.min_time, db.max_time,
+            filter_stats=stats,
+        )
+        assert stats.get("pairs_considered", 0) >= stats.get("pairs_linked", 0)
+
+    def test_lambda_one_equals_snapshot_granularity(self):
+        db = db_of(
+            straight("a", 0, 0, 0, 9),
+            straight("b", 0, 1, 0, 9),
+        )
+        simplified = self._simplify(db, 0.1)
+        candidates = cuts_filter(simplified, 2, 5, 2.0, 1, 0, 9)
+        assert any(
+            c.t_start == 0 and c.t_end == 9 and c.objects == frozenset({"a", "b"})
+            for c in candidates
+        )
+
+    def test_refinement_unit_formula(self):
+        from repro.core.candidates import ClosedCandidate
+
+        candidate = ClosedCandidate(
+            frozenset({"a", "b"}), 0, 5,
+            (
+                (0, 2, frozenset({"a", "b", "c"})),   # 3^2 * 3 = 27
+                (3, 5, frozenset({"a", "b"})),        # 2^2 * 3 = 12
+            ),
+        )
+        assert refinement_unit([candidate]) == 39.0
+
+
+class TestExactness:
+    """CuTS/CuTS+/CuTS* return exactly CMC's answer — the paper's
+    correctness claim, for random databases and adversarial parameters."""
+
+    @pytest.mark.parametrize("variant", ["cuts", "cuts+", "cuts*"])
+    def test_equals_cmc_on_random_databases(self, variant):
+        for seed in range(20):
+            db, rng = random_database(seed * 7 + 1)
+            m, k = rng.randint(2, 3), rng.randint(2, 6)
+            eps = rng.uniform(3, 10)
+            exact = normalize_convoys(cmc(db, m, k, eps))
+            result = cuts(
+                db, m, k, eps,
+                delta=rng.uniform(0.1, eps),
+                lam=rng.randint(1, 2 * k),
+                variant=variant,
+            )
+            assert convoy_sets_equal(exact, result.convoys), (
+                f"seed={seed} m={m} k={k} eps={eps:.2f}"
+            )
+
+    @pytest.mark.parametrize("variant", ["cuts", "cuts+", "cuts*"])
+    def test_equals_cmc_with_extreme_delta(self, variant):
+        """δ larger than e is allowed (slow filter, still exact)."""
+        db, _ = random_database(77)
+        exact = normalize_convoys(cmc(db, 2, 3, 5.0))
+        result = cuts(db, 2, 3, 5.0, delta=12.0, lam=2, variant=variant)
+        assert convoy_sets_equal(exact, result.convoys)
+
+    def test_exactness_without_actual_tolerance(self):
+        """Figure 14's global-tolerance mode is slower, never wrong."""
+        db, _ = random_database(78)
+        exact = normalize_convoys(cmc(db, 2, 3, 5.0))
+        result = cuts(
+            db, 2, 3, 5.0, delta=2.0, lam=3, use_actual_tolerance=False
+        )
+        assert convoy_sets_equal(exact, result.convoys)
+
+    def test_exactness_without_lemma2(self):
+        db, _ = random_database(79)
+        exact = normalize_convoys(cmc(db, 2, 3, 5.0))
+        result = cuts(db, 2, 3, 5.0, delta=2.0, lam=3, use_lemma2=False)
+        assert convoy_sets_equal(exact, result.convoys)
+
+    def test_actual_tolerance_filters_no_worse(self):
+        """Figure 14: actual tolerances can only shrink the refinement
+        workload relative to the global tolerance."""
+        db, _ = random_database(80)
+        with_actual = cuts(db, 2, 3, 5.0, delta=3.0, lam=3)
+        with_global = cuts(
+            db, 2, 3, 5.0, delta=3.0, lam=3, use_actual_tolerance=False
+        )
+        assert with_actual.refinement_unit <= with_global.refinement_unit

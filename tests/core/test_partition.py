@@ -1,0 +1,84 @@
+"""Tests for time partitioning and partition polyline construction."""
+
+import pytest
+
+from repro.core.partition import TimePartitioner, build_partition_polylines
+from repro.simplification import douglas_peucker
+from repro.trajectory.trajectory import Trajectory
+
+
+class TestTimePartitioner:
+    def test_even_division(self):
+        parts = list(TimePartitioner(0, 7, 4))
+        assert parts == [(0, 3), (4, 7)]
+
+    def test_ragged_tail(self):
+        parts = list(TimePartitioner(0, 9, 4))
+        assert parts == [(0, 3), (4, 7), (8, 9)]
+
+    def test_single_partition(self):
+        assert list(TimePartitioner(5, 9, 100)) == [(5, 9)]
+
+    def test_lambda_one(self):
+        assert list(TimePartitioner(0, 2, 1)) == [(0, 0), (1, 1), (2, 2)]
+
+    def test_len(self):
+        assert len(TimePartitioner(0, 9, 4)) == 3
+        assert len(TimePartitioner(0, 7, 4)) == 2
+
+    def test_partitions_cover_domain_disjointly(self):
+        parts = list(TimePartitioner(3, 29, 5))
+        covered = []
+        for lo, hi in parts:
+            covered.extend(range(lo, hi + 1))
+        assert covered == list(range(3, 30))
+
+    def test_partition_of(self):
+        partitioner = TimePartitioner(0, 9, 4)
+        assert partitioner.partition_of(0) == (0, 3)
+        assert partitioner.partition_of(5) == (4, 7)
+        assert partitioner.partition_of(9) == (8, 9)
+
+    def test_partition_of_outside_raises(self):
+        with pytest.raises(ValueError):
+            TimePartitioner(0, 9, 4).partition_of(10)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            TimePartitioner(5, 3, 2)
+        with pytest.raises(ValueError):
+            TimePartitioner(0, 9, 0)
+
+
+class TestBuildPartitionPolylines:
+    def _zigzag(self, oid="o", n=20):
+        pts = [(float(i), float((-1) ** i * 3), i) for i in range(n)]
+        return Trajectory(oid, pts)
+
+    def test_straddling_segment_in_both_partitions(self):
+        """Figure 9(b): a segment crossing the boundary must appear in both
+        neighbouring partitions."""
+        tr = Trajectory("o", [(0, 0, 0), (10, 0, 10)])
+        simplified = douglas_peucker(tr, 0.5)  # one segment [0, 10]
+        first = build_partition_polylines([simplified], 0, 4)
+        second = build_partition_polylines([simplified], 5, 10)
+        assert len(first) == 1 and len(second) == 1
+
+    def test_object_absent_from_uncovered_partition(self):
+        tr = Trajectory("o", [(0, 0, 0), (5, 0, 5)])
+        simplified = douglas_peucker(tr, 0.5)
+        assert build_partition_polylines([simplified], 6, 9) == []
+
+    def test_global_tolerance_mode(self):
+        simplified = douglas_peucker(self._zigzag(), 3.5)
+        actual = build_partition_polylines([simplified], 0, 19)
+        global_tol = build_partition_polylines(
+            [simplified], 0, 19, use_actual_tolerance=False
+        )
+        assert all(t <= 3.5 for t in actual[0].tolerances)
+        assert all(t == 3.5 for t in global_tol[0].tolerances)
+
+    def test_polyline_carries_matching_tolerances(self):
+        simplified = douglas_peucker(self._zigzag(), 2.0)
+        [poly] = build_partition_polylines([simplified], 0, 19)
+        assert len(poly.segments) == len(poly.tolerances)

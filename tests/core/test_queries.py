@@ -1,0 +1,119 @@
+"""Tests for the convoy result-set query helpers."""
+
+import pytest
+
+from repro.core.convoy import Convoy
+from repro.core.queries import (
+    co_travel_totals,
+    convoy_timeline,
+    convoys_during,
+    convoys_of_object,
+    longest_convoy,
+    participation_totals,
+    summarize,
+    top_convoys,
+)
+
+AB_LONG = Convoy(["a", "b"], 0, 19)          # lifetime 20, size 2
+ABC_SHORT = Convoy(["a", "b", "c"], 5, 9)    # lifetime 5, size 3
+CD_MED = Convoy(["c", "d"], 10, 17)          # lifetime 8, size 2
+RESULTS = [AB_LONG, ABC_SHORT, CD_MED]
+
+
+class TestTopConvoys:
+    def test_by_duration(self):
+        assert top_convoys(RESULTS, limit=2, by="duration") == [AB_LONG, CD_MED]
+
+    def test_by_size(self):
+        assert top_convoys(RESULTS, limit=1, by="size") == [ABC_SHORT]
+
+    def test_by_mass(self):
+        # masses: 40, 15, 16.
+        assert top_convoys(RESULTS, limit=2, by="mass") == [AB_LONG, CD_MED]
+
+    def test_limit_zero(self):
+        assert top_convoys(RESULTS, limit=0) == []
+
+    def test_unknown_ranking(self):
+        with pytest.raises(ValueError):
+            top_convoys(RESULTS, by="altitude")
+
+    def test_deterministic_ties(self):
+        a = Convoy(["a", "b"], 0, 4)
+        b = Convoy(["x", "y"], 0, 4)
+        assert top_convoys([b, a], by="duration") == top_convoys([a, b], by="duration")
+
+
+class TestLongestConvoy:
+    def test_longest(self):
+        assert longest_convoy(RESULTS) == AB_LONG
+
+    def test_empty(self):
+        assert longest_convoy([]) is None
+
+
+class TestSelections:
+    def test_convoys_of_object(self):
+        assert convoys_of_object(RESULTS, "c") == [ABC_SHORT, CD_MED]
+        assert convoys_of_object(RESULTS, "zzz") == []
+
+    def test_convoys_during(self):
+        assert convoys_during(RESULTS, 18, 25) == [AB_LONG]
+        assert set(convoys_during(RESULTS, 9, 10)) == {AB_LONG, ABC_SHORT, CD_MED}
+
+    def test_convoys_during_rejects_reversed(self):
+        with pytest.raises(ValueError):
+            convoys_during(RESULTS, 5, 4)
+
+
+class TestTotals:
+    def test_co_travel_totals(self):
+        totals = co_travel_totals(RESULTS)
+        assert totals[frozenset(("a", "b"))] == 25  # 20 + 5
+        assert totals[frozenset(("a", "c"))] == 5
+        assert totals[frozenset(("c", "d"))] == 8
+        assert frozenset(("a", "d")) not in totals
+
+    def test_participation_totals(self):
+        totals = participation_totals(RESULTS)
+        assert totals["a"] == 25
+        assert totals["c"] == 13
+        assert totals["d"] == 8
+
+    def test_empty(self):
+        assert co_travel_totals([]) == {}
+        assert participation_totals([]) == {}
+
+
+class TestTimeline:
+    def test_counts_active_convoys(self):
+        timeline = convoy_timeline(RESULTS)
+        assert timeline[0] == 1          # AB only
+        assert timeline[7] == 2          # AB + ABC
+        assert timeline[12] == 2         # AB + CD
+        assert timeline[18] == 1         # CD ended at 17? no - AB runs to 19
+        assert timeline[19] == 1
+
+    def test_explicit_window(self):
+        timeline = convoy_timeline(RESULTS, 8, 11)
+        assert list(timeline) == [8, 9, 10, 11]
+        assert timeline[9] == 2
+
+    def test_empty(self):
+        assert convoy_timeline([]) == {}
+
+
+class TestSummarize:
+    def test_summary_fields(self):
+        summary = summarize(RESULTS)
+        assert summary["count"] == 3
+        assert summary["objects"] == 4
+        assert summary["max_size"] == 3
+        assert summary["max_lifetime"] == 20
+        assert summary["total_mass"] == 40 + 15 + 16
+        assert summary["mean_size"] == pytest.approx(7 / 3)
+
+    def test_empty_summary(self):
+        summary = summarize([])
+        assert summary["count"] == 0
+        assert summary["total_mass"] == 0

@@ -1,0 +1,100 @@
+"""Tests for the movement primitives."""
+
+import math
+import random
+
+import pytest
+
+from repro.datasets.movers import (
+    group_trajectories,
+    irregular_sample,
+    waypoint_positions,
+)
+from repro.trajectory.trajectory import Trajectory
+
+
+class TestWaypointPositions:
+    def test_length(self):
+        rng = random.Random(0)
+        assert len(waypoint_positions(rng, 50, 100.0, 3.0)) == 50
+
+    def test_rejects_zero_steps(self):
+        with pytest.raises(ValueError):
+            waypoint_positions(random.Random(0), 0, 100.0, 3.0)
+
+    def test_stays_in_area(self):
+        rng = random.Random(1)
+        for x, y in waypoint_positions(rng, 200, 50.0, 5.0):
+            assert 0 <= x <= 50 and 0 <= y <= 50
+
+    def test_speed_bounded(self):
+        rng = random.Random(2)
+        positions = waypoint_positions(rng, 100, 500.0, 4.0)
+        for (x1, y1), (x2, y2) in zip(positions, positions[1:]):
+            assert math.hypot(x2 - x1, y2 - y1) <= 4.0 + 1e-9
+
+    def test_deterministic(self):
+        a = waypoint_positions(random.Random(7), 30, 100.0, 3.0)
+        b = waypoint_positions(random.Random(7), 30, 100.0, 3.0)
+        assert a == b
+
+    def test_explicit_start(self):
+        rng = random.Random(3)
+        positions = waypoint_positions(rng, 10, 100.0, 3.0, start=(5.0, 6.0))
+        assert positions[0] == (5.0, 6.0)
+
+
+class TestGroupTrajectories:
+    def test_members_follow_leader(self):
+        rng = random.Random(4)
+        leader = waypoint_positions(rng, 40, 100.0, 3.0)
+        members = group_trajectories(
+            rng, leader, 10, ["a", "b", "c"], spread_fn=lambda s: 1.0
+        )
+        assert len(members) == 3
+        for trajectory in members:
+            assert trajectory.start_time == 10
+            assert trajectory.end_time == 49
+            for step, point in enumerate(trajectory):
+                lx, ly = leader[step]
+                assert math.hypot(point.x - lx, point.y - ly) <= 1.0 + 1e-9
+
+    def test_spread_function_controls_distance(self):
+        rng = random.Random(5)
+        leader = [(0.0, 0.0)] * 20
+        members = group_trajectories(
+            rng, leader, 0, ["a"],
+            spread_fn=lambda s: 0.5 if s < 10 else 10.0,
+        )
+        trajectory = members[0]
+        assert math.hypot(*trajectory[0].xy) <= 0.5 + 1e-9
+        assert math.hypot(*trajectory[-1].xy) >= 9.9
+
+
+class TestIrregularSample:
+    def _line(self, n=50):
+        return Trajectory("o", [(float(t), 0.0, t) for t in range(n)])
+
+    def test_keeps_endpoints(self):
+        rng = random.Random(6)
+        thinned = irregular_sample(self._line(), rng, 0.2)
+        assert thinned.start_time == 0
+        assert thinned.end_time == 49
+
+    def test_keep_probability_one_is_identity(self):
+        tr = self._line()
+        assert irregular_sample(tr, random.Random(0), 1.0) is tr
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            irregular_sample(self._line(), random.Random(0), 0.0)
+
+    def test_thinning_reduces_points(self):
+        rng = random.Random(7)
+        thinned = irregular_sample(self._line(200), rng, 0.3)
+        assert len(thinned) < 200
+        assert len(thinned) >= 2
+
+    def test_short_trajectory_untouched(self):
+        tr = Trajectory("o", [(0, 0, 0), (1, 1, 1)])
+        assert irregular_sample(tr, random.Random(0), 0.1) is tr

@@ -1,0 +1,91 @@
+"""Unit tests for the 2-D vector helpers."""
+
+import math
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.vec import add, dot, lerp, norm, scale, squared_norm, sub
+
+finite = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+vectors = st.tuples(finite, finite)
+
+
+class TestBasicOps:
+    def test_add(self):
+        assert add((1.0, 2.0), (3.0, -1.0)) == (4.0, 1.0)
+
+    def test_sub(self):
+        assert sub((1.0, 2.0), (3.0, -1.0)) == (-2.0, 3.0)
+
+    def test_scale(self):
+        assert scale((2.0, -3.0), 2.0) == (4.0, -6.0)
+
+    def test_scale_by_zero(self):
+        assert scale((2.0, -3.0), 0.0) == (0.0, 0.0)
+
+    def test_dot_orthogonal(self):
+        assert dot((1.0, 0.0), (0.0, 5.0)) == 0.0
+
+    def test_dot_parallel(self):
+        assert dot((2.0, 3.0), (4.0, 6.0)) == 26.0
+
+    def test_norm_pythagorean(self):
+        assert norm((3.0, 4.0)) == 5.0
+
+    def test_squared_norm_matches_norm(self):
+        v = (3.0, 4.0)
+        assert squared_norm(v) == norm(v) ** 2
+
+
+class TestLerp:
+    def test_endpoints(self):
+        a, b = (0.0, 0.0), (10.0, -4.0)
+        assert lerp(a, b, 0.0) == a
+        assert lerp(a, b, 1.0) == b
+
+    def test_midpoint(self):
+        assert lerp((0.0, 0.0), (10.0, -4.0), 0.5) == (5.0, -2.0)
+
+    @given(vectors, vectors, st.floats(min_value=0, max_value=1))
+    def test_lerp_stays_on_segment(self, a, b, ratio):
+        p = lerp(a, b, ratio)
+        # The interpolated point is a convex combination: each coordinate
+        # lies between the endpoints' coordinates.
+        assert min(a[0], b[0]) - 1e-6 <= p[0] <= max(a[0], b[0]) + 1e-6
+        assert min(a[1], b[1]) - 1e-6 <= p[1] <= max(a[1], b[1]) + 1e-6
+
+
+class TestAlgebraicProperties:
+    @given(vectors, vectors)
+    def test_add_commutes(self, u, v):
+        assert add(u, v) == add(v, u)
+
+    @given(vectors, vectors)
+    def test_dot_commutes(self, u, v):
+        assert dot(u, v) == dot(v, u)
+
+    @given(vectors)
+    def test_sub_self_is_zero(self, u):
+        assert sub(u, u) == (0.0, 0.0)
+
+    @given(vectors, vectors)
+    def test_triangle_inequality(self, u, v):
+        assert norm(add(u, v)) <= norm(u) + norm(v) + 1e-6
+
+    @given(vectors)
+    def test_norm_non_negative(self, u):
+        assert norm(u) >= 0.0
+
+    @given(vectors, vectors)
+    def test_cauchy_schwarz(self, u, v):
+        bound = norm(u) * norm(v)
+        assert abs(dot(u, v)) <= bound * (1 + 1e-9) + 1e-6
+
+
+def test_norm_of_zero():
+    assert norm((0.0, 0.0)) == 0.0
+
+
+def test_lerp_degenerate_segment():
+    assert lerp((2.0, 2.0), (2.0, 2.0), 0.7) == (2.0, 2.0)

@@ -1,0 +1,85 @@
+"""End-to-end runs on the paper-like datasets (tiny scales)."""
+
+import pytest
+
+from repro import (
+    DATASETS,
+    cmc,
+    convoy_sets_equal,
+    cuts,
+    load_trajectories_csv,
+    normalize_convoys,
+    save_trajectories_csv,
+)
+from repro.baselines.moving_clusters import mc2_convoy_answers
+from repro.core.verification import false_negative_rate, false_positive_rate
+
+SMALL = {
+    "truck": dict(scale=0.02),
+    "cattle": dict(scale=0.002),
+    "car": dict(scale=0.02),
+    "taxi": dict(scale=0.15),
+}
+
+
+@pytest.fixture(scope="module")
+def specs():
+    return {name: gen(**SMALL[name]) for name, gen in DATASETS.items()}
+
+
+@pytest.fixture(scope="module")
+def exact_results(specs):
+    return {
+        name: normalize_convoys(
+            cmc(spec.database, spec.m, spec.k, spec.eps)
+        )
+        for name, spec in specs.items()
+    }
+
+
+@pytest.mark.parametrize("name", ["truck", "cattle", "car", "taxi"])
+@pytest.mark.parametrize("variant", ["cuts", "cuts+", "cuts*"])
+def test_cuts_family_matches_cmc_on_datasets(specs, exact_results, name, variant):
+    spec = specs[name]
+    result = cuts(spec.database, spec.m, spec.k, spec.eps, variant=variant)
+    assert convoy_sets_equal(exact_results[name], result.convoys)
+
+
+@pytest.mark.parametrize("name", ["truck", "cattle", "car"])
+def test_datasets_contain_convoys(exact_results, name):
+    assert exact_results[name]
+
+
+def test_mc2_is_not_a_convoy_algorithm(specs):
+    """Appendix B.1 in miniature: MC2 has no lifetime constraint, so under
+    a demanding ``k`` (the paper uses k=180, far above typical chain
+    lengths) its answer set contains false positives at every θ."""
+    spec = specs["truck"]
+    demanding_k = 3 * spec.k
+    exact = normalize_convoys(
+        cmc(spec.database, spec.m, demanding_k, spec.eps)
+    )
+    total_error = 0.0
+    for theta in (0.4, 0.6, 0.8, 1.0):
+        answers = mc2_convoy_answers(spec.database, spec.eps, spec.m, theta)
+        total_error += false_positive_rate(
+            answers, spec.database, spec.m, demanding_k, spec.eps
+        )
+        total_error += false_negative_rate(answers, exact)
+    assert total_error > 0.0
+
+
+def test_csv_round_trip_preserves_query_answers(tmp_path, specs, exact_results):
+    spec = specs["car"]
+    path = tmp_path / "car.csv"
+    save_trajectories_csv(spec.database, path)
+    reloaded = load_trajectories_csv(path)
+    convoys = normalize_convoys(cmc(reloaded, spec.m, spec.k, spec.eps))
+    assert convoy_sets_equal(convoys, exact_results["car"])
+
+
+def test_phase_durations_recorded(specs):
+    spec = specs["cattle"]
+    result = cuts(spec.database, spec.m, spec.k, spec.eps, variant="cuts*")
+    assert all(v >= 0 for v in result.durations.values())
+    assert result.simplification["original_points"] == spec.database.total_points

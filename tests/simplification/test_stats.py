@@ -1,0 +1,59 @@
+"""Tests for simplification statistics (Figure 15 inputs)."""
+
+import random
+
+import pytest
+
+from repro.simplification import (
+    douglas_peucker,
+    simplification_report,
+    vertex_reduction,
+)
+from repro.trajectory.trajectory import Trajectory
+
+
+def line(n):
+    return Trajectory("o", [(float(i), 0.0, i) for i in range(n)])
+
+
+def test_vertex_reduction_on_a_line():
+    simplified = douglas_peucker(line(10), 0.1)
+    assert vertex_reduction([simplified]) == pytest.approx(80.0)
+
+
+def test_vertex_reduction_empty():
+    assert vertex_reduction([]) == 0.0
+
+
+def test_report_fields():
+    simplified = douglas_peucker(line(10), 0.1)
+    report = simplification_report([simplified])
+    assert report["original_points"] == 10
+    assert report["kept_points"] == 2
+    assert report["vertex_reduction_pct"] == pytest.approx(80.0)
+    assert report["max_actual_tolerance"] <= 0.1
+
+
+def test_report_empty():
+    report = simplification_report([])
+    assert report["kept_points"] == 0
+    assert report["vertex_reduction_pct"] == 0.0
+
+
+def test_report_aggregates_multiple_trajectories():
+    rng = random.Random(0)
+    trajectories = []
+    for i in range(5):
+        pts = []
+        x = y = 0.0
+        for t in range(30):
+            x += rng.uniform(-3, 3)
+            y += rng.uniform(-3, 3)
+            pts.append((x, y, t))
+        trajectories.append(Trajectory(f"o{i}", pts))
+    simplified = [douglas_peucker(tr, 2.0) for tr in trajectories]
+    report = simplification_report(simplified)
+    assert report["original_points"] == 150
+    assert 0 < report["kept_points"] <= 150
+    assert report["max_actual_tolerance"] <= 2.0
+    assert 0.0 <= report["mean_actual_tolerance"] <= report["max_actual_tolerance"]

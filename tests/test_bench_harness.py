@@ -1,0 +1,65 @@
+"""Tests for the bench harness (timers and report formatting)."""
+
+import time
+
+from repro.bench import PhaseTimer, format_series, format_table, time_call
+
+
+class TestPhaseTimer:
+    def test_records_phases(self):
+        timer = PhaseTimer()
+        with timer.phase("a"):
+            pass
+        with timer.phase("b"):
+            pass
+        assert set(timer.durations) == {"a", "b"}
+        assert timer.total >= 0
+
+    def test_accumulates_repeated_phase(self):
+        timer = PhaseTimer()
+        for _ in range(3):
+            with timer.phase("x"):
+                time.sleep(0.001)
+        assert timer.durations["x"] >= 0.003
+
+    def test_records_on_exception(self):
+        timer = PhaseTimer()
+        try:
+            with timer.phase("boom"):
+                raise RuntimeError
+        except RuntimeError:
+            pass
+        assert "boom" in timer.durations
+
+
+class TestTimeCall:
+    def test_returns_result_and_seconds(self):
+        result, seconds = time_call(lambda x: x * 2, 21)
+        assert result == 42
+        assert seconds >= 0
+
+
+class TestFormatting:
+    def test_table_alignment(self):
+        text = format_table(
+            "My Table", ["name", "value"], [["alpha", 1], ["b", 123456.0]]
+        )
+        lines = text.splitlines()
+        assert lines[0] == "My Table"
+        assert "name" in lines[2]
+        # All data lines share the same width.
+        widths = {len(line) for line in lines[2:]}
+        assert len(widths) == 1
+
+    def test_table_float_formatting(self):
+        text = format_table("t", ["v"], [[0.123456], [12345.6], [0]])
+        assert "0.123" in text
+        assert "12,346" in text
+
+    def test_series(self):
+        text = format_series(
+            "Fig", "x", [1, 2], {"a": [10, 20], "b": [30, 40]}
+        )
+        assert "Fig" in text
+        assert "x" in text.splitlines()[2]
+        assert "30" in text

@@ -1,0 +1,146 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.io.csv_io import load_trajectories_csv, save_trajectories_csv
+from repro.trajectory.database import TrajectoryDatabase
+from repro.trajectory.trajectory import Trajectory
+
+
+@pytest.fixture
+def convoy_csv(tmp_path):
+    db = TrajectoryDatabase(
+        [
+            Trajectory("a", [(t, 0.0, t) for t in range(20)]),
+            Trajectory("b", [(t, 1.0, t) for t in range(20)]),
+            Trajectory("c", [(t, 90.0, t) for t in range(20)]),
+        ]
+    )
+    path = tmp_path / "in.csv"
+    save_trajectories_csv(db, path)
+    return path
+
+
+def run_cli(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_discover_requires_query_params(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["discover", "x.csv"])
+
+    def test_algorithm_choices(self):
+        args = build_parser().parse_args(
+            ["discover", "x.csv", "-m", "2", "-k", "3", "-e", "1.5",
+             "--algorithm", "cuts+"]
+        )
+        assert args.algorithm == "cuts+"
+
+
+class TestDiscover:
+    @pytest.mark.parametrize("algorithm", ["cmc", "cuts", "cuts+", "cuts*"])
+    def test_finds_convoy(self, convoy_csv, algorithm):
+        code, text = run_cli(
+            ["discover", str(convoy_csv), "-m", "2", "-k", "10", "-e", "2.0",
+             "--algorithm", algorithm]
+        )
+        assert code == 0
+        assert "1 convoy(s)" in text
+        assert "objects=a,b" in text
+
+    def test_writes_output_csv(self, convoy_csv, tmp_path):
+        out_path = tmp_path / "answer.csv"
+        code, text = run_cli(
+            ["discover", str(convoy_csv), "-m", "2", "-k", "10", "-e", "2.0",
+             "--output", str(out_path)]
+        )
+        assert code == 0
+        lines = out_path.read_text().splitlines()
+        assert lines[0] == "t_start,t_end,size,objects"
+        assert lines[1] == "0,19,2,a;b"
+
+    def test_no_convoys(self, convoy_csv):
+        code, text = run_cli(
+            ["discover", str(convoy_csv), "-m", "3", "-k", "10", "-e", "2.0"]
+        )
+        assert code == 0
+        assert "0 convoy(s)" in text
+
+    def test_empty_input(self, tmp_path):
+        empty = tmp_path / "empty.csv"
+        empty.write_text("")
+        code, text = run_cli(
+            ["discover", str(empty), "-m", "2", "-k", "3", "-e", "1.0"]
+        )
+        assert code == 1
+
+    def test_explicit_internal_params(self, convoy_csv):
+        code, text = run_cli(
+            ["discover", str(convoy_csv), "-m", "2", "-k", "10", "-e", "2.0",
+             "--delta", "0.5", "--lam", "4"]
+        )
+        assert code == 0
+        assert "1 convoy(s)" in text
+
+
+class TestStats:
+    def test_table3_style_output(self, convoy_csv):
+        code, text = run_cli(["stats", str(convoy_csv)])
+        assert code == 0
+        assert "objects (N):            3" in text
+        assert "time domain length (T): 20" in text
+        assert "data size (points):     60" in text
+
+
+class TestSimplify:
+    def test_reduces_points(self, convoy_csv, tmp_path):
+        out_path = tmp_path / "reduced.csv"
+        code, text = run_cli(
+            ["simplify", str(convoy_csv), str(out_path),
+             "--method", "dp", "--delta", "0.5"]
+        )
+        assert code == 0
+        assert "reduction" in text
+        reduced = load_trajectories_csv(out_path)
+        assert reduced.total_points < 60
+        # Endpoints survive, so the time domain is intact.
+        assert reduced.min_time == 0 and reduced.max_time == 19
+
+    @pytest.mark.parametrize("method", ["dp", "dp+", "dp*"])
+    def test_all_methods(self, convoy_csv, tmp_path, method):
+        out_path = tmp_path / f"{method.replace('*', 'star')}.csv"
+        code, _ = run_cli(
+            ["simplify", str(convoy_csv), str(out_path),
+             "--method", method, "--delta", "1.0"]
+        )
+        assert code == 0
+        assert out_path.exists()
+
+
+class TestGenerate:
+    def test_generate_taxi(self, tmp_path):
+        out_path = tmp_path / "taxi.csv"
+        code, text = run_cli(
+            ["generate", "taxi", str(out_path), "--scale", "0.1"]
+        )
+        assert code == 0
+        assert "500 objects" in text
+        db = load_trajectories_csv(out_path)
+        assert len(db) == 500
+
+    def test_generate_respects_seed(self, tmp_path):
+        a = tmp_path / "a.csv"
+        b = tmp_path / "b.csv"
+        run_cli(["generate", "cattle", str(a), "--scale", "0.002", "--seed", "5"])
+        run_cli(["generate", "cattle", str(b), "--scale", "0.002", "--seed", "5"])
+        assert a.read_text() == b.read_text()

@@ -1,0 +1,105 @@
+"""Tests for TrajectoryDatabase."""
+
+import pytest
+
+from repro.trajectory.database import TrajectoryDatabase
+from repro.trajectory.trajectory import Trajectory
+
+
+def db_of(*specs):
+    return TrajectoryDatabase(
+        Trajectory(oid, pts) for oid, pts in specs
+    )
+
+
+class TestConstruction:
+    def test_empty(self):
+        db = TrajectoryDatabase()
+        assert len(db) == 0
+        assert repr(db) == "TrajectoryDatabase(empty)"
+
+    def test_duplicate_id_rejected(self):
+        with pytest.raises(ValueError):
+            db_of(("a", [(0, 0, 0)]), ("a", [(1, 1, 1)]))
+
+    def test_non_trajectory_rejected(self):
+        db = TrajectoryDatabase()
+        with pytest.raises(TypeError):
+            db.add([(0, 0, 0)])
+
+    def test_lookup(self):
+        db = db_of(("a", [(0, 0, 0), (1, 1, 1)]))
+        assert "a" in db
+        assert "b" not in db
+        assert db["a"].object_id == "a"
+
+
+class TestStatistics:
+    def test_table3_stats(self):
+        db = db_of(
+            ("a", [(0, 0, 0), (1, 1, 1), (2, 2, 2)]),
+            ("b", [(0, 0, 5), (1, 1, 9)]),
+        )
+        stats = db.statistics()
+        assert stats["num_objects"] == 2
+        assert stats["time_domain_length"] == 10  # [0, 9]
+        assert stats["total_points"] == 5
+        assert stats["average_trajectory_length"] == 2.5
+
+    def test_empty_statistics_rejected(self):
+        with pytest.raises(ValueError):
+            TrajectoryDatabase().statistics()
+
+
+class TestSnapshots:
+    def test_objects_alive_at(self):
+        db = db_of(
+            ("a", [(0, 0, 0), (1, 1, 10)]),
+            ("b", [(0, 0, 5), (1, 1, 9)]),
+        )
+        assert {tr.object_id for tr in db.objects_alive_at(3)} == {"a"}
+        assert {tr.object_id for tr in db.objects_alive_at(7)} == {"a", "b"}
+
+    def test_snapshot_interpolates(self):
+        db = db_of(("a", [(0, 0, 0), (10, 0, 10)]))
+        snap = db.snapshot(5)
+        assert snap["a"] == (5.0, 0.0)
+
+    def test_snapshot_excludes_dead(self):
+        db = db_of(
+            ("a", [(0, 0, 0), (1, 0, 4)]),
+            ("b", [(0, 0, 6), (1, 0, 9)]),
+        )
+        assert set(db.snapshot(5)) == set()
+        assert set(db.snapshot(4)) == {"a"}
+
+
+class TestRestriction:
+    def test_restricted_objects_and_window(self):
+        db = db_of(
+            ("a", [(i, 0, i) for i in range(10)]),
+            ("b", [(i, 1, i) for i in range(10)]),
+            ("c", [(i, 2, i) for i in range(10)]),
+        )
+        sub = db.restricted(["a", "b"], 2, 5)
+        assert set(sub.object_ids) == {"a", "b"}
+        assert sub.min_time == 2
+        assert sub.max_time == 5
+
+    def test_restricted_drops_uncovered_objects(self):
+        db = db_of(
+            ("a", [(0, 0, 0), (1, 0, 3)]),
+            ("b", [(0, 0, 7), (1, 0, 9)]),
+        )
+        sub = db.restricted(["a", "b"], 6, 9)
+        assert set(sub.object_ids) == {"b"}
+
+    def test_restricted_ignores_unknown_ids(self):
+        db = db_of(("a", [(0, 0, 0), (1, 0, 3)]))
+        sub = db.restricted(["a", "ghost"], 0, 3)
+        assert set(sub.object_ids) == {"a"}
+
+    def test_restricted_preserves_interpolation(self):
+        db = db_of(("a", [(0, 0, 0), (10, 0, 10)]))
+        sub = db.restricted(["a"], 3, 7)
+        assert sub["a"].location_at(5) == pytest.approx((5.0, 0.0))

@@ -1,0 +1,77 @@
+"""Tests for TimestampedSegment."""
+
+import math
+
+import pytest
+
+from repro.trajectory.segment import TimestampedSegment
+
+
+def seg(start, end, t0, t1):
+    return TimestampedSegment(start, end, t0, t1)
+
+
+class TestConstruction:
+    def test_reversed_interval_rejected(self):
+        with pytest.raises(ValueError):
+            seg((0, 0), (1, 1), 5, 3)
+
+    def test_degenerate_segment_allowed(self):
+        s = seg((2, 2), (2, 2), 4, 4)
+        assert s.duration == 0
+        assert s.tau == (4, 4)
+
+    def test_bbox(self):
+        s = seg((3, -1), (0, 4), 0, 5)
+        assert (s.bbox.min_x, s.bbox.min_y) == (0, -1)
+        assert (s.bbox.max_x, s.bbox.max_y) == (3, 4)
+
+
+class TestTime:
+    def test_covers_time(self):
+        s = seg((0, 0), (1, 1), 2, 6)
+        assert s.covers_time(2) and s.covers_time(6) and s.covers_time(4)
+        assert not s.covers_time(1) and not s.covers_time(7)
+
+    def test_overlaps_interval(self):
+        s = seg((0, 0), (1, 1), 2, 6)
+        assert s.overlaps_interval(6, 9)  # boundary touch
+        assert s.overlaps_interval(0, 2)
+        assert not s.overlaps_interval(7, 9)
+
+    def test_location_at_time_ratio(self):
+        s = seg((0, 0), (10, 20), 0, 10)
+        assert s.location_at(5) == (5.0, 10.0)
+        assert s.location_at(0) == (0, 0)
+
+    def test_location_outside_raises(self):
+        s = seg((0, 0), (10, 20), 0, 10)
+        with pytest.raises(ValueError):
+            s.location_at(11)
+
+
+class TestDistances:
+    def test_spatial_distance(self):
+        a = seg((0, 0), (10, 0), 0, 10)
+        b = seg((0, 3), (10, 3), 0, 10)
+        assert a.spatial_distance_to(b) == 3.0
+
+    def test_cpa_distance_synchronous_parallel(self):
+        a = seg((0, 0), (10, 0), 0, 10)
+        b = seg((0, 3), (10, 3), 0, 10)
+        assert a.cpa_distance_to(b) == pytest.approx(3.0)
+
+    def test_cpa_distance_disjoint_time(self):
+        a = seg((0, 0), (10, 0), 0, 5)
+        b = seg((0, 3), (10, 3), 6, 10)
+        assert a.cpa_distance_to(b) == math.inf
+        assert a.spatial_distance_to(b) == 3.0  # DLL ignores time
+
+    def test_cpa_at_least_dll(self):
+        a = seg((0, 0), (10, 0), 0, 10)
+        b = seg((10, 2), (0, 2), 5, 15)
+        assert a.cpa_distance_to(b) >= a.spatial_distance_to(b) - 1e-9
+
+    def test_distance_to_point(self):
+        s = seg((0, 0), (10, 0), 0, 10)
+        assert s.distance_to_point((5, 7)) == 7.0
