@@ -1,0 +1,93 @@
+"""Streaming engine throughput — snapshots/sec and candidate memory.
+
+Not a paper figure: the paper only evaluates offline discovery.  This
+bench characterizes the online restructuring of Algorithm 1 (the ROADMAP's
+"serve heavy traffic" direction): feed a seeded synthetic stream through
+:class:`~repro.streaming.StreamingConvoyMiner` one snapshot at a time and
+report ingest rate, per-point rate, and the peak live-candidate count —
+the engine's memory driver.  The CLI run uses >= 100k points; the bounded
+``--window`` row shows the memory/fragmentation trade the window buys.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.common import print_report
+from repro.bench import format_table
+from repro.streaming import StreamingConvoyMiner, synthetic_stream
+
+#: (label, n_objects, n_snapshots, window) rows for the CLI report.  Every
+#: row streams n_objects * n_snapshots points; the headline row is >= 100k.
+SCALE_ROWS = (
+    ("10k", 100, 100, None),
+    ("100k", 500, 200, None),
+    ("100k/win", 500, 200, 40),
+)
+
+M, K, EPS = 3, 20, 10.0
+
+
+def run_stream(n_objects, n_snapshots, window=None, seed=42):
+    """Feed one synthetic stream; return (convoys, counters, seconds)."""
+    miner = StreamingConvoyMiner(M, K, EPS, window=window)
+    convoys = []
+    started = time.perf_counter()
+    for t, snapshot in synthetic_stream(
+        n_objects, n_snapshots, seed=seed, eps=EPS
+    ):
+        convoys.extend(miner.feed(t, snapshot))
+    convoys.extend(miner.flush())
+    return convoys, miner.counters, time.perf_counter() - started
+
+
+@pytest.mark.parametrize("n_objects,n_snapshots", [(100, 100), (500, 200)])
+def test_streaming_throughput(benchmark, n_objects, n_snapshots):
+    def run():
+        return run_stream(n_objects, n_snapshots)
+
+    convoys, counters, seconds = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["snapshots_per_sec"] = round(
+        counters["snapshots"] / seconds, 1
+    )
+    benchmark.extra_info["peak_candidates"] = counters["peak_candidates"]
+    benchmark.extra_info["convoys"] = len(convoys)
+
+
+def test_one_clustering_call_per_snapshot():
+    """The engine never recomputes: one DBSCAN pass per fed snapshot."""
+    _, counters, _ = run_stream(60, 50)
+    assert counters["snapshots"] == 50
+    assert counters["clustering_calls"] == 50
+
+
+def main():
+    rows = []
+    for label, n_objects, n_snapshots, window in SCALE_ROWS:
+        convoys, counters, seconds = run_stream(n_objects, n_snapshots, window)
+        points = counters["clustered_points"]
+        rows.append([
+            label,
+            n_objects,
+            n_snapshots,
+            points,
+            window if window is not None else "-",
+            round(seconds, 2),
+            round(counters["snapshots"] / seconds, 1),
+            round(points / seconds / 1000.0, 1),
+            counters["peak_candidates"],
+            len(convoys),
+        ])
+    print_report(
+        format_table(
+            "Streaming throughput — StreamingConvoyMiner over synthetic "
+            f"streams (m={M}, k={K}, e={EPS:g})",
+            ["stream", "objects", "snapshots", "points", "window", "sec",
+             "snap/s", "kpts/s", "peak cand", "convoys"],
+            rows,
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

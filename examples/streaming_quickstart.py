@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Streaming quickstart: discover convoys online, as position updates arrive.
+
+The offline algorithms (``cmc``, ``cuts``) need the whole trajectory
+database up front.  ``StreamingConvoyMiner`` answers the same convoy query
+one snapshot at a time: push ``{object_id: (x, y)}`` per tick, get each
+convoy back the moment its chain fails to extend, and ``flush()`` at the
+end of the stream for the convoys still travelling at the last tick.
+
+This script mines a seeded synthetic stream (four groups of five objects
+planted among independent walkers), prints convoys as they close, and then
+shows that replaying a materialized database through the engine gives
+exactly the offline answer — both paths drive the same engine core.
+"""
+
+from repro import (
+    StreamingConvoyMiner,
+    cmc,
+    mine_stream,
+    replay_database,
+    synthetic_stream,
+    truck_dataset,
+)
+
+
+def main():
+    m, k, eps = 3, 15, 10.0
+    print(f"convoy query: m={m}, k={k}, e={eps}")
+    print("\nmining a live synthetic stream (120 objects, 80 ticks):")
+    miner = StreamingConvoyMiner(m, k, eps)
+    tail = []
+    for t, snapshot in synthetic_stream(120, 80, seed=21, eps=eps):
+        for convoy in miner.feed(t, snapshot):
+            members = ", ".join(sorted(convoy.objects))
+            print(f"  t={t}: closed {{{members}}} "
+                  f"t=[{convoy.t_start}, {convoy.t_end}]")
+    tail = miner.flush()
+    print(f"  end of stream: {len(tail)} convoy(s) still open were emitted")
+    counters = miner.counters
+    print(f"  {counters['snapshots']} snapshots, "
+          f"{counters['clustering_calls']} clustering passes "
+          f"(one per snapshot — never a recompute), "
+          f"peak {counters['peak_candidates']} live candidates")
+
+    print("\noffline/streaming agreement on a paper-like database:")
+    spec = truck_dataset(scale=0.01)
+    offline = cmc(spec.database, spec.m, spec.k, spec.eps)
+    streamed = mine_stream(
+        replay_database(spec.database), spec.m, spec.k, spec.eps
+    )
+    assert offline == streamed
+    print(f"  replaying {spec.database.total_points} points gave the same "
+          f"{len(offline)} convoy(s) as offline CMC")
+
+
+if __name__ == "__main__":
+    main()

@@ -61,6 +61,13 @@ from repro.simplification import (
     douglas_peucker_plus,
     douglas_peucker_star,
 )
+from repro.streaming import (
+    StreamingConvoyMiner,
+    mine_stream,
+    replay_csv,
+    replay_database,
+    synthetic_stream,
+)
 from repro.trajectory import Trajectory, TrajectoryDatabase, TrajectoryPoint
 
 __version__ = "1.0.0"
@@ -70,6 +77,7 @@ __all__ = [
     "CutsResult",
     "DATASETS",
     "DatasetSpec",
+    "StreamingConvoyMiner",
     "Trajectory",
     "TrajectoryDatabase",
     "TrajectoryPoint",
@@ -97,9 +105,13 @@ __all__ = [
     "is_valid_convoy",
     "load_trajectories_csv",
     "mc2",
+    "mine_stream",
     "normalize_convoys",
+    "replay_csv",
+    "replay_database",
     "save_trajectories_csv",
     "synthetic_dataset",
+    "synthetic_stream",
     "taxi_dataset",
     "truck_dataset",
 ]

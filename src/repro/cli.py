@@ -1,17 +1,20 @@
 """Command-line interface for convoy discovery.
 
-Four subcommands mirror the workflows a practitioner needs:
+Five subcommands mirror the workflows a practitioner needs:
 
 * ``repro-convoy discover`` — run a convoy query over a CSV of
   ``object_id,t,x,y`` rows with any of the four algorithms;
+* ``repro-convoy stream`` — run the same query online, snapshot by
+  snapshot, printing each convoy the moment it closes (from a CSV replay
+  or a seeded synthetic stream);
 * ``repro-convoy stats`` — print a dataset's Table 3-style statistics;
 * ``repro-convoy simplify`` — batch line-simplification of a CSV with DP,
   DP+, or DP*, reporting the vertex reduction;
 * ``repro-convoy generate`` — write one of the paper-like synthetic
   datasets (truck / cattle / car / taxi) to CSV for experimentation.
 
-All subcommands print human-readable text to stdout; ``discover`` can
-also write the answer as CSV for downstream tooling.
+All subcommands print human-readable text to stdout; ``discover`` and
+``stream`` can also write the answer as CSV for downstream tooling.
 """
 
 from __future__ import annotations
@@ -26,6 +29,7 @@ from repro.core.verification import normalize_convoys
 from repro.datasets.paperlike import DATASETS
 from repro.io.csv_io import load_trajectories_csv, save_trajectories_csv
 from repro.simplification import SIMPLIFIERS, simplification_report
+from repro.streaming import StreamingConvoyMiner, replay_csv, synthetic_stream
 
 
 def build_parser():
@@ -58,6 +62,39 @@ def build_parser():
                           help="time partition length (default: auto)")
     discover.add_argument("--output", default=None,
                           help="also write the answer as CSV to this path")
+
+    stream = sub.add_parser(
+        "stream",
+        help="run an online convoy query, printing convoys as they close",
+    )
+    stream.add_argument(
+        "csv", nargs="?", default=None,
+        help="input file with object_id,t,x,y rows (omit with --synthetic)",
+    )
+    stream.add_argument("-m", type=int, required=True,
+                        help="minimum objects per convoy")
+    stream.add_argument("-k", type=int, required=True,
+                        help="minimum lifetime in consecutive time points")
+    stream.add_argument("-e", "--eps", type=float, required=True,
+                        help="density distance threshold e")
+    stream.add_argument(
+        "--synthetic", metavar="NxT", default=None,
+        help="mine a seeded synthetic stream of N objects over T snapshots "
+        "instead of a CSV (e.g. 500x200)",
+    )
+    stream.add_argument("--seed", type=int, default=0,
+                        help="synthetic stream seed (default: 0)")
+    stream.add_argument(
+        "--window", type=int, default=None,
+        help="bounded-memory cap: close candidate chains after this many "
+        "time points (>= k; convoys outliving it are fragmented)",
+    )
+    stream.add_argument("--paper-semantics", action="store_true",
+                        help="use Algorithm 1's published candidate rule")
+    stream.add_argument("--quiet", action="store_true",
+                        help="suppress per-convoy lines; print the summary only")
+    stream.add_argument("--output", default=None,
+                        help="also write the answer as CSV to this path")
 
     stats = sub.add_parser("stats", help="print dataset statistics")
     stats.add_argument("csv", help="input file with object_id,t,x,y rows")
@@ -109,13 +146,91 @@ def _cmd_discover(args, out):
         members = ",".join(str(o) for o in sorted(convoy.objects, key=str))
         print(f"  t=[{convoy.t_start},{convoy.t_end}] objects={members}", file=out)
     if args.output:
-        with open(args.output, "w") as handle:
-            handle.write("t_start,t_end,size,objects\n")
-            for convoy in convoys:
-                members = ";".join(str(o) for o in sorted(convoy.objects, key=str))
-                handle.write(
-                    f"{convoy.t_start},{convoy.t_end},{convoy.size},{members}\n"
-                )
+        _write_answer_csv(convoys, args.output)
+        print(f"answer written to {args.output}", file=out)
+    return 0
+
+
+def _write_answer_csv(convoys, path):
+    with open(path, "w") as handle:
+        handle.write("t_start,t_end,size,objects\n")
+        for convoy in convoys:
+            members = ";".join(str(o) for o in sorted(convoy.objects, key=str))
+            handle.write(
+                f"{convoy.t_start},{convoy.t_end},{convoy.size},{members}\n"
+            )
+
+
+def _parse_synthetic_shape(text):
+    """Parse the ``--synthetic NxT`` shape; raises ValueError when malformed."""
+    parts = text.lower().split("x")
+    if len(parts) != 2:
+        raise ValueError(f"expected NxT (e.g. 500x200), got {text!r}")
+    n_objects, n_snapshots = int(parts[0]), int(parts[1])
+    if n_objects < 1 or n_snapshots < 1:
+        raise ValueError(f"synthetic shape must be positive, got {text!r}")
+    return n_objects, n_snapshots
+
+
+def _cmd_stream(args, out):
+    if (args.csv is None) == (args.synthetic is None):
+        print("stream needs exactly one input: a CSV path or --synthetic NxT",
+              file=out)
+        return 2
+    if args.synthetic is not None:
+        try:
+            n_objects, n_snapshots = _parse_synthetic_shape(args.synthetic)
+        except ValueError as exc:
+            print(f"bad --synthetic value: {exc}", file=out)
+            return 2
+        source = synthetic_stream(
+            n_objects, n_snapshots, seed=args.seed, eps=args.eps
+        )
+        label = f"synthetic {n_objects}x{n_snapshots} (seed {args.seed})"
+    else:
+        source = replay_csv(args.csv)
+        label = args.csv
+    try:
+        miner = StreamingConvoyMiner(
+            args.m, args.k, args.eps,
+            paper_semantics=args.paper_semantics, window=args.window,
+        )
+    except ValueError as exc:
+        print(f"bad query parameters: {exc}", file=out)
+        return 2
+    convoys = []
+    started = time.perf_counter()
+    for t, snapshot in source:
+        for convoy in miner.feed(t, snapshot):
+            convoys.append(convoy)
+            if not args.quiet:
+                members = ",".join(str(o) for o in sorted(convoy.objects, key=str))
+                print(f"  closed at t={t}: t=[{convoy.t_start},"
+                      f"{convoy.t_end}] objects={members}", file=out)
+    for convoy in miner.flush():
+        convoys.append(convoy)
+        if not args.quiet:
+            members = ",".join(str(o) for o in sorted(convoy.objects, key=str))
+            print(f"  open at end of stream: t=[{convoy.t_start},"
+                  f"{convoy.t_end}] objects={members}", file=out)
+    elapsed = time.perf_counter() - started
+    counters = miner.counters
+    snapshots = counters["snapshots"]
+    if snapshots == 0:
+        print("input contains no snapshots", file=out)
+        return 1
+    rate = snapshots / elapsed if elapsed > 0 else float("inf")
+    print(
+        f"{len(convoys)} convoy(s) from {snapshots} snapshot(s) in "
+        f"{elapsed:.2f}s ({rate:.0f} snapshots/s, peak "
+        f"{counters['peak_candidates']} candidate(s); {label}, "
+        f"m={args.m}, k={args.k}, e={args.eps:g})",
+        file=out,
+    )
+    if args.output:
+        # Same normalization as ``discover`` so the two subcommands'
+        # artifacts are directly comparable.
+        _write_answer_csv(normalize_convoys(convoys), args.output)
         print(f"answer written to {args.output}", file=out)
     return 0
 
@@ -182,6 +297,7 @@ def _cmd_generate(args, out):
 
 COMMANDS = {
     "discover": _cmd_discover,
+    "stream": _cmd_stream,
     "stats": _cmd_stats,
     "simplify": _cmd_simplify,
     "generate": _cmd_generate,

@@ -180,6 +180,11 @@ class CandidateTracker:
             Convoy(c.objects, c.t_start, c.t_end) for c in self._candidates
         ]
 
+    @property
+    def live_count(self):
+        """Number of live candidate chains (O(1), for monitoring)."""
+        return len(self._candidates)
+
     def advance(self, clusters, window_start, window_end):
         """Process one time step covering ``[window_start, window_end]``.
 
@@ -255,6 +260,40 @@ class CandidateTracker:
                         (None, window_start, window_end, cluster),
                     )
         self._candidates = list(survivors.values())
+        return closed
+
+    def prune_longer_than(self, max_lifetime):
+        """Force-close every live chain that has lived ``max_lifetime`` points.
+
+        The streaming engine's bounded-memory window: a chain's per-step
+        history grows with its age, so capping the age caps memory at
+        O(live chains x max_lifetime).  Pruned chains are reported when they
+        qualify (lifetime >= k); their objects may immediately re-seed a
+        fresh chain from the next step's clusters, so a convoy outliving the
+        window is reported as consecutive fragments rather than dropped.
+
+        Args:
+            max_lifetime: close chains whose lifetime reached this many time
+                points.  Must be >= the tracker's ``k`` or no pruned chain
+                could ever be reported.
+
+        Returns:
+            List of :class:`ClosedCandidate` for the pruned chains that
+            lived at least ``k`` time points.
+        """
+        if max_lifetime < self._k:
+            raise ValueError(
+                f"max_lifetime must be >= k={self._k}, got {max_lifetime}"
+            )
+        kept = []
+        closed = []
+        for candidate in self._candidates:
+            if candidate.lifetime >= max_lifetime:
+                # max_lifetime >= k, so every pruned chain qualifies.
+                closed.append(candidate.close())
+            else:
+                kept.append(candidate)
+        self._candidates = kept
         return closed
 
     def flush(self):

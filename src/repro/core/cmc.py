@@ -12,12 +12,17 @@ cluster does not additionally seed a fresh candidate (Algorithm 1 lines
 10-23).  Later work observed that this can skip convoys whose object set
 grows mid-way; we reproduce the paper's algorithm, and the CuTS-vs-CMC
 equivalence tests are stated against these semantics.
+
+The per-snapshot step — cluster, join against live candidates, emit dead
+chains — lives in :class:`repro.streaming.StreamingConvoyMiner`; this
+module is the batch driver that sweeps a materialized database through it
+(the streaming sources in :mod:`repro.streaming.source` are the other
+driver), so Algorithm 1's chaining semantics exist exactly once.
 """
 
 from __future__ import annotations
 
-from repro.clustering.dbscan import dbscan
-from repro.core.candidates import CandidateTracker
+from repro.streaming.engine import StreamingConvoyMiner
 
 
 def cmc(database, m, k, eps, time_range=None, counters=None,
@@ -34,7 +39,9 @@ def cmc(database, m, k, eps, time_range=None, counters=None,
             each candidate's interval here.
         counters: optional dict; when given, receives bookkeeping totals
             (``clustering_calls``, ``interpolated_points``,
-            ``clustered_points``) used by the cost-analysis benches.
+            ``clustered_points``, plus the engine's ``snapshots`` /
+            ``peak_candidates`` / ``convoys_emitted``) used by the
+            cost-analysis benches.
         paper_semantics: when True, candidates follow Algorithm 1's
             published seeding rule verbatim, which can miss convoys whose
             membership grows mid-stream; the default complete semantics
@@ -66,9 +73,7 @@ def cmc(database, m, k, eps, time_range=None, counters=None,
             raise ValueError(f"time_range reversed: [{t_lo}, {t_hi}]")
 
     if counters is not None:
-        counters.setdefault("clustering_calls", 0)
         counters.setdefault("interpolated_points", 0)
-        counters.setdefault("clustered_points", 0)
 
     # Sort trajectories once by start time so each step only examines
     # objects whose interval can cover the current time point.
@@ -76,7 +81,9 @@ def cmc(database, m, k, eps, time_range=None, counters=None,
     active = []  # trajectories whose tau covers the current t (maintained)
     next_idx = 0
 
-    tracker = CandidateTracker(m, k, paper_semantics=paper_semantics)
+    miner = StreamingConvoyMiner(
+        m, k, eps, paper_semantics=paper_semantics, counters=counters
+    )
     results = []
     for t in range(t_lo, t_hi + 1):
         while next_idx < len(trajectories) and trajectories[next_idx].start_time <= t:
@@ -93,22 +100,8 @@ def cmc(database, m, k, eps, time_range=None, counters=None,
             snapshot[tr.object_id] = tr.location_at(t)
             if not tr.has_sample_at(t):
                 interpolated += 1
-        if len(snapshot) < m:
-            # Fewer than m objects alive: no cluster can exist at t, so
-            # every live candidate's run of consecutive time points ends
-            # here (see the candidates-module docstring for why the
-            # pseudocode's plain "skip" would be wrong).
-            results.extend(
-                record.as_convoy() for record in tracker.advance((), t, t)
-            )
-            continue
-        clusters = dbscan(snapshot, eps, m)
-        if counters is not None:
-            counters["clustering_calls"] += 1
+        if counters is not None and len(snapshot) >= m:
             counters["interpolated_points"] += interpolated
-            counters["clustered_points"] += len(snapshot)
-        results.extend(
-            record.as_convoy() for record in tracker.advance(clusters, t, t)
-        )
-    results.extend(record.as_convoy() for record in tracker.flush())
+        results.extend(miner.feed(t, snapshot))
+    results.extend(miner.flush())
     return results

@@ -1,0 +1,26 @@
+"""Streaming convoy discovery.
+
+Algorithm 1's snapshot loop, restructured as an online engine: snapshots
+are pushed in one at a time, each tick costs one DBSCAN pass plus one
+candidate-intersection step, and convoys are emitted the moment their
+chains fail to extend.  The offline :func:`repro.core.cmc.cmc` drives the
+same engine over a materialized database, so both paths share one
+implementation of the chaining semantics.
+
+* :class:`~repro.streaming.engine.StreamingConvoyMiner` — the engine;
+* :func:`~repro.streaming.engine.mine_stream` — drive a miner over a
+  snapshot source and collect the answer;
+* :mod:`~repro.streaming.source` — snapshot sources: database replay, CSV
+  replay, and a seeded synthetic generator for scale runs.
+"""
+
+from repro.streaming.engine import StreamingConvoyMiner, mine_stream
+from repro.streaming.source import replay_csv, replay_database, synthetic_stream
+
+__all__ = [
+    "StreamingConvoyMiner",
+    "mine_stream",
+    "replay_csv",
+    "replay_database",
+    "synthetic_stream",
+]

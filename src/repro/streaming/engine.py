@@ -1,0 +1,189 @@
+"""Streaming convoy discovery — Algorithm 1 restructured as an online engine.
+
+CMC (Section 4, Algorithm 1) is snapshot-sequential by construction:
+cluster the objects alive at time ``t``, join the clusters against the live
+candidate set, report chains that die after ``k`` points.  Nothing in that
+loop needs the *future* of the data, so the same semantics can run online:
+:class:`StreamingConvoyMiner` ingests one snapshot per call, pays exactly
+one DBSCAN pass plus one candidate-intersection step per tick, and emits a
+convoy the moment its chain fails to extend — no full-history recompute,
+ever.
+
+The offline :func:`repro.core.cmc.cmc` delegates its per-snapshot step to
+this engine, so the chaining semantics (including the ``paper_semantics``
+switch and the gap rule — see :mod:`repro.core.candidates`) exist in one
+place with two drivers: the batch sweep over a materialized
+:class:`~repro.trajectory.TrajectoryDatabase`, and the push-based streaming
+path fed by the adapters in :mod:`repro.streaming.source`.
+
+Memory: with ``window=None`` the engine holds the live candidate chains,
+whose per-step history grows with chain age — exact, but unbounded on an
+infinite stream with an eternal convoy.  A ``window`` caps every chain at
+that many time points: chains reaching the cap are closed (reported when
+they qualify) and their objects re-seed fresh chains, so convoys outliving
+the window surface as consecutive fragments and memory stays
+O(live chains x window).
+"""
+
+from __future__ import annotations
+
+from repro.clustering.dbscan import dbscan
+from repro.core.candidates import CandidateTracker
+
+#: Counter keys a miner maintains in its ``counters`` dict.
+COUNTER_KEYS = (
+    "snapshots",
+    "clustering_calls",
+    "clustered_points",
+    "convoys_emitted",
+    "peak_candidates",
+)
+
+
+class StreamingConvoyMiner:
+    """Online convoy discovery over a pushed sequence of snapshots.
+
+    Args:
+        m: minimum number of objects per convoy.
+        k: minimum lifetime in consecutive time points.
+        eps: density distance threshold ``e``.
+        paper_semantics: reproduce Algorithm 1's candidate rule verbatim
+            instead of the default complete semantics (see
+            :mod:`repro.core.candidates`).
+        window: optional bounded-memory cap, in time points (``>= k``).
+            None (default) is exact; a finite window fragments convoys that
+            outlive it (see the module docstring).
+        counters: optional dict receiving bookkeeping totals (the
+            ``COUNTER_KEYS``); a fresh dict is created when omitted and is
+            always available as :attr:`counters`.
+
+    Usage::
+
+        miner = StreamingConvoyMiner(m=2, k=5, eps=2.0)
+        for t, snapshot in source:            # {object_id: (x, y)} per tick
+            for convoy in miner.feed(t, snapshot):
+                handle(convoy)                # emitted as soon as it closes
+        tail = miner.flush()                  # convoys still open at the end
+
+    Snapshots must arrive in strictly increasing time order.  A skipped
+    time point is a point where no object reported — per Definition 3's "k
+    *consecutive* time points" no chain may bridge it, so a gap closes every
+    live chain (emitting the qualifying ones at the next ``feed``).
+    """
+
+    def __init__(self, m, k, eps, paper_semantics=False, window=None,
+                 counters=None):
+        if eps <= 0:
+            raise ValueError(f"eps must be positive, got {eps}")
+        if window is not None and window < k:
+            raise ValueError(f"window must be >= k={k}, got {window}")
+        # CandidateTracker validates m and k.
+        self._tracker = CandidateTracker(m, k, paper_semantics=paper_semantics)
+        self._m = m
+        self._k = k
+        self._eps = eps
+        self._window = window
+        self._last_t = None
+        self._flushed = False
+        self.counters = counters if counters is not None else {}
+        for key in COUNTER_KEYS:
+            self.counters.setdefault(key, 0)
+
+    @property
+    def last_time(self):
+        """Time of the most recently fed snapshot (None before the first)."""
+        return self._last_t
+
+    @property
+    def live_candidate_count(self):
+        """Number of currently open candidate chains."""
+        return self._tracker.live_count
+
+    @property
+    def live_candidates(self):
+        """The open chains as convoy-shaped records (for introspection)."""
+        return self._tracker.live_candidates
+
+    def feed(self, t, snapshot):
+        """Ingest the snapshot at time ``t``; return the convoys it closed.
+
+        Args:
+            t: integer time point, strictly greater than the previous one.
+            snapshot: mapping ``{object_id: (x, y)}`` of every object that
+                reported at ``t``.  May be empty (which ends every chain).
+
+        Returns:
+            List of :class:`~repro.core.convoy.Convoy` whose chains ended at
+            this step with lifetime >= k, in discovery order.
+        """
+        if self._flushed:
+            raise RuntimeError("stream already flushed; create a new miner")
+        t = int(t)
+        if self._last_t is not None and t <= self._last_t:
+            raise ValueError(
+                f"snapshots must advance in time: t={t} after t={self._last_t}"
+            )
+        closed = []
+        if self._last_t is not None and t > self._last_t + 1:
+            # The skipped points [last_t+1, t-1] had no data: no cluster can
+            # exist there, so every chain's run of consecutive points ends.
+            closed.extend(self._tracker.advance((), self._last_t + 1, t - 1))
+        if len(snapshot) >= self._m:
+            clusters = dbscan(snapshot, self._eps, self._m)
+            self.counters["clustering_calls"] += 1
+            self.counters["clustered_points"] += len(snapshot)
+        else:
+            # Fewer than m objects reported: no cluster can exist, and the
+            # empty advance ends every chain (the tracker's gap rule).
+            clusters = ()
+        closed.extend(self._tracker.advance(clusters, t, t))
+        if self._window is not None:
+            closed.extend(self._tracker.prune_longer_than(self._window))
+        self._last_t = t
+        self.counters["snapshots"] += 1
+        if self._tracker.live_count > self.counters["peak_candidates"]:
+            self.counters["peak_candidates"] = self._tracker.live_count
+        self.counters["convoys_emitted"] += len(closed)
+        return [record.as_convoy() for record in closed]
+
+    def flush(self):
+        """End the stream: close every open chain, return the qualifiers.
+
+        Chains alive at the final snapshot are real convoys when they
+        already span >= k points — Algorithm 1 reproductions classically
+        drop them because the pseudocode only reports on failed extension.
+        After ``flush`` the miner is finished; further ``feed`` calls raise.
+        Calling ``flush`` again returns an empty list.
+        """
+        if self._flushed:
+            return []
+        self._flushed = True
+        closed = self._tracker.flush()
+        self.counters["convoys_emitted"] += len(closed)
+        return [record.as_convoy() for record in closed]
+
+
+def mine_stream(source, m, k, eps, paper_semantics=False, window=None,
+                counters=None):
+    """Drive a :class:`StreamingConvoyMiner` over a snapshot source.
+
+    Args:
+        source: iterable of ``(t, {object_id: (x, y)})`` ticks in strictly
+            increasing time order — any adapter from
+            :mod:`repro.streaming.source`, or a plain generator.
+        m, k, eps: the convoy-query parameters.
+        paper_semantics, window, counters: forwarded to the miner.
+
+    Returns:
+        List of :class:`~repro.core.convoy.Convoy` in discovery order,
+        including the end-of-stream flush.
+    """
+    miner = StreamingConvoyMiner(
+        m, k, eps, paper_semantics=paper_semantics, window=window,
+        counters=counters,
+    )
+    convoys = []
+    for t, snapshot in source:
+        convoys.extend(miner.feed(t, snapshot))
+    convoys.extend(miner.flush())
+    return convoys

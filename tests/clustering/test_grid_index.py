@@ -97,3 +97,79 @@ class TestNeighborQueries:
                 if math.hypot(x - qx, y - qy) <= 7.0
             }
             assert set(index.neighbors_of(qid, 7.0)) == expected
+
+
+def brute_force_neighbors(points, query, radius):
+    qx, qy = query
+    return {
+        item_id
+        for item_id, (x, y) in points.items()
+        if math.hypot(x - qx, y - qy) <= radius
+    }
+
+
+class TestEdgeCases:
+    """Degenerate geometry the streaming per-tick indexes must survive."""
+
+    def test_points_exactly_on_cell_boundaries(self):
+        """Coordinates that are exact multiples of cell_size land in a
+        definite cell and are still found from the adjacent cells."""
+        points = {
+            "origin": (0.0, 0.0),
+            "east": (1.0, 0.0),
+            "corner": (1.0, 1.0),
+            "far": (2.0, 0.0),
+            "west_edge": (-1.0, 0.0),
+        }
+        index = GridIndex(1.0, points)
+        for item_id in points:
+            assert set(index.neighbors_of(item_id, 1.0)) == \
+                brute_force_neighbors(points, points[item_id], 1.0)
+
+    def test_negative_boundary_coordinates(self):
+        """floor-division cell mapping: -1.0 // 1.0 is -1, not 0 — points
+        on negative cell boundaries must not shift a cell."""
+        points = {
+            "a": (-2.0, -2.0),
+            "b": (-1.0, -2.0),
+            "c": (-2.0, -1.0),
+            "d": (-0.5, -0.5),
+        }
+        index = GridIndex(1.0, points)
+        for item_id, location in points.items():
+            for radius in (0.5, 1.0, 1.5):
+                assert set(index.neighbors_of(item_id, radius)) == \
+                    brute_force_neighbors(points, location, radius)
+
+    def test_duplicate_positions_distinct_ids(self):
+        """Several objects can report the same location (a parked fleet);
+        all of them must appear in each other's neighbourhood."""
+        points = {f"p{i}": (3.5, -2.5) for i in range(5)}
+        points["q"] = (3.5, -1.6)
+        index = GridIndex(1.0, points)
+        assert set(index.neighbors_of("p0", 0.0)) == {f"p{i}" for i in range(5)}
+        assert set(index.neighbors_of("q", 1.0)) == set(points)
+
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4])
+    def test_cell_size_equals_eps_matches_brute_force(self, seed):
+        """The engine's natural configuration (cell_size == eps): query
+        results are exactly the brute-force e-neighbourhood on random sets
+        that include cell-aligned and duplicated points."""
+        rng = random.Random(seed)
+        eps = 2.5
+        points = {}
+        for i in range(120):
+            roll = rng.random()
+            if roll < 0.2:  # snap onto the grid lines
+                x = eps * rng.randint(-8, 8)
+                y = eps * rng.randint(-8, 8)
+            elif roll < 0.3 and points:  # duplicate an earlier position
+                x, y = points[rng.randrange(len(points))]
+            else:
+                x = rng.uniform(-20, 20)
+                y = rng.uniform(-20, 20)
+            points[i] = (x, y)
+        index = GridIndex(eps, points)
+        for qid in range(0, 120, 7):
+            assert set(index.neighbors_of(qid, eps)) == \
+                brute_force_neighbors(points, points[qid], eps)

@@ -1,0 +1,131 @@
+"""Tests for the snapshot-source adapters."""
+
+import math
+
+import pytest
+
+from repro.io.csv_io import save_trajectories_csv
+from repro.streaming import replay_csv, replay_database, synthetic_stream
+from repro.trajectory.database import TrajectoryDatabase
+from repro.trajectory.trajectory import Trajectory
+
+
+@pytest.fixture
+def staggered_db():
+    return TrajectoryDatabase(
+        [
+            Trajectory("a", [(float(t), 0.0, t) for t in range(10)]),
+            Trajectory("b", [(float(t), 1.0, t) for t in range(3, 8)]),
+            # c has samples only at t=4 and t=6: t=5 is interpolated.
+            Trajectory("c", [(4.0, 5.0, 4), (6.0, 5.0, 6)]),
+        ]
+    )
+
+
+class TestReplayDatabase:
+    def test_yields_every_time_point(self, staggered_db):
+        ticks = list(replay_database(staggered_db))
+        assert [t for t, _ in ticks] == list(range(10))
+
+    def test_snapshots_match_database_snapshot(self, staggered_db):
+        for t, snapshot in replay_database(staggered_db):
+            assert snapshot == staggered_db.snapshot(t)
+
+    def test_interpolates_virtual_points(self, staggered_db):
+        snapshots = dict(replay_database(staggered_db))
+        assert snapshots[5]["c"] == (5.0, 5.0)  # midpoint of the two samples
+
+    def test_time_range_restriction(self, staggered_db):
+        ticks = list(replay_database(staggered_db, time_range=(4, 6)))
+        assert [t for t, _ in ticks] == [4, 5, 6]
+        assert set(ticks[0][1]) == {"a", "b", "c"}
+
+    def test_reversed_time_range_rejected(self, staggered_db):
+        with pytest.raises(ValueError):
+            list(replay_database(staggered_db, time_range=(6, 4)))
+
+    def test_empty_database_yields_nothing(self):
+        assert list(replay_database(TrajectoryDatabase())) == []
+
+    def test_dead_air_yields_empty_snapshots(self):
+        """Mid-domain ticks where nothing is alive still appear (the engine
+        needs them to break chains)."""
+        db = TrajectoryDatabase(
+            [
+                Trajectory("a", [(0.0, 0.0, 0), (1.0, 0.0, 1)]),
+                Trajectory("b", [(0.0, 0.0, 5), (1.0, 0.0, 6)]),
+            ]
+        )
+        snapshots = dict(replay_database(db))
+        assert list(snapshots) == list(range(7))
+        assert snapshots[3] == {}
+
+
+class TestReplayCsv:
+    def test_round_trips_database(self, staggered_db, tmp_path):
+        path = tmp_path / "stream.csv"
+        save_trajectories_csv(staggered_db, path)
+        assert list(replay_csv(path)) == list(replay_database(staggered_db))
+
+
+class TestSyntheticStream:
+    def test_shape(self):
+        ticks = list(synthetic_stream(30, 12, seed=1))
+        assert len(ticks) == 12
+        assert [t for t, _ in ticks] == list(range(12))
+        for _, snapshot in ticks:
+            assert len(snapshot) == 30
+            assert set(snapshot) == {f"o{i}" for i in range(30)}
+
+    def test_t_start_offset(self):
+        ticks = list(synthetic_stream(5, 3, seed=1, t_start=100))
+        assert [t for t, _ in ticks] == [100, 101, 102]
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            list(synthetic_stream(0, 5))
+        with pytest.raises(ValueError):
+            list(synthetic_stream(5, 0))
+
+    def test_rejects_bad_group_layout(self):
+        with pytest.raises(ValueError):
+            list(synthetic_stream(10, 5, group_size=0))
+        with pytest.raises(ValueError):
+            list(synthetic_stream(10, 5, group_size=-1))
+        with pytest.raises(ValueError):
+            list(synthetic_stream(10, 5, group_count=-1))
+        # group_count=0 is legal: a stream of pure loners.
+        ticks = list(synthetic_stream(10, 5, seed=1, group_count=0))
+        assert all(len(snapshot) == 10 for _, snapshot in ticks)
+
+    def test_planted_groups_stay_within_eps(self):
+        """Members of one planted group are pairwise within eps at every
+        tick — each group is a convoy for any m up to the group size."""
+        eps = 10.0
+        group_size = 5
+        for t, snapshot in synthetic_stream(
+            40, 25, seed=3, eps=eps, group_count=2, group_size=group_size
+        ):
+            for group in range(2):
+                members = [f"o{group * group_size + i}"
+                           for i in range(group_size)]
+                for left in members:
+                    for right in members:
+                        lx, ly = snapshot[left]
+                        rx, ry = snapshot[right]
+                        assert math.hypot(lx - rx, ly - ry) <= eps
+
+    def test_groups_clipped_to_object_count(self):
+        """More requested groups than objects: groups are dropped, never
+        an index error."""
+        ticks = list(
+            synthetic_stream(7, 3, seed=1, group_count=4, group_size=5)
+        )
+        assert all(len(snapshot) == 7 for _, snapshot in ticks)
+
+    def test_objects_move(self):
+        ticks = list(synthetic_stream(10, 20, seed=5))
+        first = ticks[0][1]
+        last = ticks[-1][1]
+        moved = sum(1 for key in first if first[key] != last[key])
+        assert moved >= 9  # walkers actually walk

@@ -93,6 +93,96 @@ class TestDiscover:
         assert "1 convoy(s)" in text
 
 
+class TestStream:
+    def test_finds_convoy_in_csv(self, convoy_csv):
+        code, text = run_cli(
+            ["stream", str(convoy_csv), "-m", "2", "-k", "10", "-e", "2.0"]
+        )
+        assert code == 0
+        assert "objects=a,b" in text
+        assert "open at end of stream" in text  # convoy runs to the last tick
+        assert "20 snapshot(s)" in text
+
+    def test_streamed_answer_matches_discover(self, convoy_csv, tmp_path):
+        stream_out = tmp_path / "stream.csv"
+        discover_out = tmp_path / "discover.csv"
+        run_cli(["stream", str(convoy_csv), "-m", "2", "-k", "10",
+                 "-e", "2.0", "--output", str(stream_out)])
+        run_cli(["discover", str(convoy_csv), "-m", "2", "-k", "10",
+                 "-e", "2.0", "--algorithm", "cmc",
+                 "--output", str(discover_out)])
+        assert stream_out.read_text() == discover_out.read_text()
+
+    def test_multi_convoy_answer_matches_discover(self, tmp_path):
+        """Output parity holds when one convoy closes mid-stream (emitted
+        first by the engine) and another runs to the final snapshot
+        (emitted last, by the flush) — discovery order differs from
+        discover's normalized order."""
+        db = TrajectoryDatabase(
+            [
+                Trajectory("a", [(t, 0.0, t) for t in range(20)]),
+                Trajectory("b", [(t, 1.0, t) for t in range(20)]),
+                Trajectory("d", [(t, 40.0 if t < 10 else 40.0 + 5 * (t - 9), t)
+                                 for t in range(20)]),
+                Trajectory("e", [(t, 41.0, t) for t in range(20)]),
+            ]
+        )
+        path = tmp_path / "multi.csv"
+        save_trajectories_csv(db, path)
+        stream_out = tmp_path / "stream.csv"
+        discover_out = tmp_path / "discover.csv"
+        code, text = run_cli(["stream", str(path), "-m", "2", "-k", "5",
+                              "-e", "2.0", "--output", str(stream_out)])
+        assert code == 0
+        assert "closed at t=" in text  # d/e convoy died mid-stream
+        assert "open at end of stream" in text  # a/b ran to the last tick
+        run_cli(["discover", str(path), "-m", "2", "-k", "5", "-e", "2.0",
+                 "--algorithm", "cmc", "--output", str(discover_out)])
+        assert stream_out.read_text() == discover_out.read_text()
+
+    def test_synthetic_source(self):
+        code, text = run_cli(
+            ["stream", "--synthetic", "30x15", "--seed", "2",
+             "-m", "3", "-k", "5", "-e", "10.0", "--quiet"]
+        )
+        assert code == 0
+        assert "15 snapshot(s)" in text
+        assert "synthetic 30x15 (seed 2)" in text
+
+    def test_requires_exactly_one_input(self, convoy_csv):
+        code, _ = run_cli(["stream", "-m", "2", "-k", "5", "-e", "1.0"])
+        assert code == 2
+        code, _ = run_cli(
+            ["stream", str(convoy_csv), "--synthetic", "5x5",
+             "-m", "2", "-k", "5", "-e", "1.0"]
+        )
+        assert code == 2
+
+    def test_rejects_window_below_k(self, convoy_csv):
+        code, text = run_cli(
+            ["stream", str(convoy_csv), "-m", "2", "-k", "5", "-e", "2.0",
+             "--window", "3"]
+        )
+        assert code == 2
+        assert "bad query parameters" in text
+
+    def test_rejects_malformed_synthetic_shape(self):
+        code, text = run_cli(
+            ["stream", "--synthetic", "banana", "-m", "2", "-k", "5",
+             "-e", "1.0"]
+        )
+        assert code == 2
+        assert "bad --synthetic" in text
+
+    def test_window_flag(self, convoy_csv):
+        code, text = run_cli(
+            ["stream", str(convoy_csv), "-m", "2", "-k", "5", "-e", "2.0",
+             "--window", "8"]
+        )
+        assert code == 0
+        assert "closed at t=" in text  # fragments close mid-stream
+
+
 class TestStats:
     def test_table3_style_output(self, convoy_csv):
         code, text = run_cli(["stats", str(convoy_csv)])
