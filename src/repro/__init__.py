@@ -25,6 +25,7 @@ paper-vs-measured record of every table and figure.
 """
 
 from repro.baselines import discover_flocks, mc2
+from repro.clustering import IncrementalSnapshotClusterer
 from repro.core import (
     Convoy,
     CutsResult,
@@ -63,6 +64,7 @@ from repro.simplification import (
 )
 from repro.streaming import (
     StreamingConvoyMiner,
+    churn_stream,
     mine_stream,
     replay_csv,
     replay_database,
@@ -77,12 +79,14 @@ __all__ = [
     "CutsResult",
     "DATASETS",
     "DatasetSpec",
+    "IncrementalSnapshotClusterer",
     "StreamingConvoyMiner",
     "Trajectory",
     "TrajectoryDatabase",
     "TrajectoryPoint",
     "car_dataset",
     "cattle_dataset",
+    "churn_stream",
     "cmc",
     "co_travel_totals",
     "compute_delta",

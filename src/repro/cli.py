@@ -91,6 +91,12 @@ def build_parser():
     )
     stream.add_argument("--paper-semantics", action="store_true",
                         help="use Algorithm 1's published candidate rule")
+    stream.add_argument(
+        "--incremental", action="store_true",
+        help="maintain the previous snapshot's clustering across ticks "
+        "(identical convoys; faster when most objects stand still between "
+        "snapshots)",
+    )
     stream.add_argument("--quiet", action="store_true",
                         help="suppress per-convoy lines; print the summary only")
     stream.add_argument("--output", default=None,
@@ -194,6 +200,7 @@ def _cmd_stream(args, out):
         miner = StreamingConvoyMiner(
             args.m, args.k, args.eps,
             paper_semantics=args.paper_semantics, window=args.window,
+            clusterer="incremental" if args.incremental else None,
         )
     except ValueError as exc:
         print(f"bad query parameters: {exc}", file=out)
@@ -227,6 +234,15 @@ def _cmd_stream(args, out):
         f"m={args.m}, k={args.k}, e={args.eps:g})",
         file=out,
     )
+    if miner.clusterer is not None:
+        inc = miner.clusterer.counters
+        print(
+            f"incremental clustering: {inc['incremental_passes']} "
+            f"incremental + {inc['full_passes']} full pass(es), "
+            f"{inc['reclustered_points']}/{inc['clustered_points']} "
+            f"points reclustered",
+            file=out,
+        )
     if args.output:
         # Same normalization as ``discover`` so the two subcommands'
         # artifacts are directly comparable.

@@ -8,6 +8,9 @@ DBSCAN from scratch in three layers:
   answers exact ``e``-neighbourhood queries in expected O(neighbours);
 * :mod:`repro.clustering.dbscan` — snapshot DBSCAN over point locations
   (the per-time-point clustering of CMC, Algorithm 1 line 7);
+* :mod:`repro.clustering.incremental` — cross-tick delta maintenance of
+  snapshot DBSCAN for streams: identical output to a fresh pass per tick,
+  paying only for the objects that moved;
 * :mod:`repro.clustering.generic_dbscan` — DBSCAN over opaque items with a
   pluggable neighbourhood oracle, used by the CuTS filter to cluster
   *polylines of simplified segments* (the TRAJ-DBSCAN of Algorithm 2);
@@ -19,11 +22,13 @@ DBSCAN from scratch in three layers:
 from repro.clustering.dbscan import dbscan
 from repro.clustering.generic_dbscan import density_cluster
 from repro.clustering.grid_index import GridIndex
+from repro.clustering.incremental import IncrementalSnapshotClusterer
 from repro.clustering.polyline import PartitionPolyline
 from repro.clustering.range_search import PolylineRangeSearcher, polyline_omega
 
 __all__ = [
     "GridIndex",
+    "IncrementalSnapshotClusterer",
     "PartitionPolyline",
     "PolylineRangeSearcher",
     "dbscan",

@@ -7,10 +7,20 @@ point and filtering by true distance — the standard trick that brings
 snapshot clustering from O(N^2) to expected O(N) per query on non-adversarial
 data, playing the role of the "spatial index" the paper credits with
 O(N log N) clustering.
+
+The index is mutable: :meth:`GridIndex.remove` and :meth:`GridIndex.move`
+let one index follow a snapshot stream across ticks instead of being
+rebuilt from scratch (the incremental clusterer in
+:mod:`repro.clustering.incremental` relies on this).  Buckets are insertion
+-ordered hash sets (dicts), so every mutation is amortized O(1) — no
+tombstones accumulate and a bucket whose last point leaves is reclaimed
+immediately, keeping memory proportional to the live points regardless of
+how far they have drifted since the index was built.
 """
 
 from __future__ import annotations
 
+import math
 from collections import defaultdict
 
 
@@ -28,7 +38,7 @@ class GridIndex:
         if cell_size <= 0:
             raise ValueError(f"cell_size must be positive, got {cell_size}")
         self._cell_size = float(cell_size)
-        self._cells = defaultdict(list)
+        self._cells = defaultdict(dict)
         self._points = {}
         if points:
             for item_id, xy in points.items():
@@ -48,12 +58,59 @@ class GridIndex:
     def _cell_of(self, xy):
         return (int(xy[0] // self._cell_size), int(xy[1] // self._cell_size))
 
+    @staticmethod
+    def _check_finite(item_id, xy):
+        if not (math.isfinite(xy[0]) and math.isfinite(xy[1])):
+            raise ValueError(
+                f"coordinates must be finite, got {xy!r} for item "
+                f"{item_id!r} (NaN/inf would corrupt cell hashing)"
+            )
+
     def insert(self, item_id, xy):
-        """Insert one point; duplicate ids are rejected."""
+        """Insert one point; duplicate ids and non-finite coordinates are
+        rejected."""
         if item_id in self._points:
             raise ValueError(f"duplicate item id {item_id!r}")
+        self._check_finite(item_id, xy)
         self._points[item_id] = xy
-        self._cells[self._cell_of(xy)].append(item_id)
+        self._cells[self._cell_of(xy)][item_id] = None
+
+    def remove(self, item_id):
+        """Remove a point; unknown ids raise :class:`KeyError`.
+
+        The point's bucket entry is deleted eagerly and the bucket itself is
+        dropped when it empties, so long-lived streaming indexes never
+        accumulate ghost cells.
+        """
+        if item_id not in self._points:
+            raise KeyError(f"unknown item id {item_id!r}")
+        xy = self._points.pop(item_id)
+        cell = self._cell_of(xy)
+        bucket = self._cells[cell]
+        del bucket[item_id]
+        if not bucket:
+            del self._cells[cell]
+
+    def move(self, item_id, xy):
+        """Update a point's position, re-bucketing only on a cell change.
+
+        Unknown ids raise :class:`KeyError`; non-finite coordinates raise
+        :class:`ValueError` and leave the index unchanged.  Moves within a
+        cell cost one dict store; cross-cell moves cost one delete plus one
+        insert — both amortized O(1).
+        """
+        if item_id not in self._points:
+            raise KeyError(f"unknown item id {item_id!r}")
+        self._check_finite(item_id, xy)
+        old_cell = self._cell_of(self._points[item_id])
+        new_cell = self._cell_of(xy)
+        self._points[item_id] = xy
+        if old_cell != new_cell:
+            bucket = self._cells[old_cell]
+            del bucket[item_id]
+            if not bucket:
+                del self._cells[old_cell]
+            self._cells[new_cell][item_id] = None
 
     def location_of(self, item_id):
         """Return the stored ``(x, y)`` of an item."""

@@ -26,7 +26,7 @@ from repro.streaming.engine import StreamingConvoyMiner
 
 
 def cmc(database, m, k, eps, time_range=None, counters=None,
-        paper_semantics=False, allowed_at=None):
+        paper_semantics=False, allowed_at=None, clusterer=None):
     """Run the CMC convoy-discovery algorithm.
 
     Args:
@@ -51,6 +51,11 @@ def cmc(database, m, k, eps, time_range=None, counters=None,
             objects.  The CuTS refinement uses this to re-cluster, at every
             time point, exactly the members of the filter cluster its
             candidate passed through.
+        clusterer: snapshot-clustering strategy, forwarded to
+            :class:`~repro.streaming.StreamingConvoyMiner` — ``None`` /
+            ``"full"`` (default) for a fresh DBSCAN per time point,
+            ``"incremental"`` for cross-tick delta maintenance (identical
+            answer, faster on slow-moving databases).
 
     Returns:
         List of :class:`repro.core.convoy.Convoy`, in discovery order.
@@ -82,7 +87,8 @@ def cmc(database, m, k, eps, time_range=None, counters=None,
     next_idx = 0
 
     miner = StreamingConvoyMiner(
-        m, k, eps, paper_semantics=paper_semantics, counters=counters
+        m, k, eps, paper_semantics=paper_semantics, counters=counters,
+        clusterer=clusterer,
     )
     results = []
     for t in range(t_lo, t_hi + 1):

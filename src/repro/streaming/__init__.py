@@ -15,10 +15,16 @@ implementation of the chaining semantics.
 """
 
 from repro.streaming.engine import StreamingConvoyMiner, mine_stream
-from repro.streaming.source import replay_csv, replay_database, synthetic_stream
+from repro.streaming.source import (
+    churn_stream,
+    replay_csv,
+    replay_database,
+    synthetic_stream,
+)
 
 __all__ = [
     "StreamingConvoyMiner",
+    "churn_stream",
     "mine_stream",
     "replay_csv",
     "replay_database",

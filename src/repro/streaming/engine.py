@@ -5,9 +5,14 @@ cluster the objects alive at time ``t``, join the clusters against the live
 candidate set, report chains that die after ``k`` points.  Nothing in that
 loop needs the *future* of the data, so the same semantics can run online:
 :class:`StreamingConvoyMiner` ingests one snapshot per call, pays exactly
-one DBSCAN pass plus one candidate-intersection step per tick, and emits a
-convoy the moment its chain fails to extend — no full-history recompute,
-ever.
+one snapshot-clustering pass plus one candidate-intersection step per tick,
+and emits a convoy the moment its chain fails to extend — no full-history
+recompute, ever.  The clustering pass itself is pluggable: the default is
+a fresh :func:`~repro.clustering.dbscan.dbscan` per tick, and
+``clusterer="incremental"`` swaps in the cross-tick delta maintenance of
+:class:`~repro.clustering.incremental.IncrementalSnapshotClusterer`, which
+produces identical clusters (hence identical convoys) while only paying
+for the objects that actually moved.
 
 The offline :func:`repro.core.cmc.cmc` delegates its per-snapshot step to
 this engine, so the chaining semantics (including the ``paper_semantics``
@@ -28,6 +33,7 @@ O(live chains x window).
 from __future__ import annotations
 
 from repro.clustering.dbscan import dbscan
+from repro.clustering.incremental import IncrementalSnapshotClusterer
 from repro.core.candidates import CandidateTracker
 
 #: Counter keys a miner maintains in its ``counters`` dict.
@@ -56,6 +62,16 @@ class StreamingConvoyMiner:
         counters: optional dict receiving bookkeeping totals (the
             ``COUNTER_KEYS``); a fresh dict is created when omitted and is
             always available as :attr:`counters`.
+        clusterer: snapshot-clustering strategy.  ``None`` or ``"full"``
+            (default) runs a fresh :func:`~repro.clustering.dbscan.dbscan`
+            pass per tick; ``"incremental"`` maintains the previous tick's
+            clustering through an
+            :class:`~repro.clustering.incremental.IncrementalSnapshotClusterer`
+            (identical clusters, hence identical convoys, but much faster
+            when consecutive snapshots overlap heavily); any object with a
+            ``cluster(snapshot) -> list[set]`` method is used as-is.  The
+            chosen strategy is introspectable as :attr:`clusterer` (``None``
+            for the full pass).
 
     Usage::
 
@@ -72,7 +88,7 @@ class StreamingConvoyMiner:
     """
 
     def __init__(self, m, k, eps, paper_semantics=False, window=None,
-                 counters=None):
+                 counters=None, clusterer=None):
         if eps <= 0:
             raise ValueError(f"eps must be positive, got {eps}")
         if window is not None and window < k:
@@ -83,6 +99,17 @@ class StreamingConvoyMiner:
         self._k = k
         self._eps = eps
         self._window = window
+        if clusterer is None or clusterer == "full":
+            self.clusterer = None
+        elif clusterer == "incremental":
+            self.clusterer = IncrementalSnapshotClusterer(eps, m)
+        elif callable(getattr(clusterer, "cluster", None)):
+            self.clusterer = clusterer
+        else:
+            raise ValueError(
+                "clusterer must be None, 'full', 'incremental', or an "
+                f"object with a cluster() method, got {clusterer!r}"
+            )
         self._last_t = None
         self._flushed = False
         self.counters = counters if counters is not None else {}
@@ -129,7 +156,10 @@ class StreamingConvoyMiner:
             # exist there, so every chain's run of consecutive points ends.
             closed.extend(self._tracker.advance((), self._last_t + 1, t - 1))
         if len(snapshot) >= self._m:
-            clusters = dbscan(snapshot, self._eps, self._m)
+            if self.clusterer is None:
+                clusters = dbscan(snapshot, self._eps, self._m)
+            else:
+                clusters = self.clusterer.cluster(snapshot)
             self.counters["clustering_calls"] += 1
             self.counters["clustered_points"] += len(snapshot)
         else:
@@ -164,7 +194,7 @@ class StreamingConvoyMiner:
 
 
 def mine_stream(source, m, k, eps, paper_semantics=False, window=None,
-                counters=None):
+                counters=None, clusterer=None):
     """Drive a :class:`StreamingConvoyMiner` over a snapshot source.
 
     Args:
@@ -172,7 +202,8 @@ def mine_stream(source, m, k, eps, paper_semantics=False, window=None,
             increasing time order — any adapter from
             :mod:`repro.streaming.source`, or a plain generator.
         m, k, eps: the convoy-query parameters.
-        paper_semantics, window, counters: forwarded to the miner.
+        paper_semantics, window, counters, clusterer: forwarded to the
+            miner.
 
     Returns:
         List of :class:`~repro.core.convoy.Convoy` in discovery order,
@@ -180,7 +211,7 @@ def mine_stream(source, m, k, eps, paper_semantics=False, window=None,
     """
     miner = StreamingConvoyMiner(
         m, k, eps, paper_semantics=paper_semantics, window=window,
-        counters=counters,
+        counters=counters, clusterer=clusterer,
     )
     convoys = []
     for t, snapshot in source:

@@ -14,6 +14,11 @@ adapters cover the workloads:
   fly in O(objects) memory, with planted co-travelling groups; this is how
   the throughput bench feeds million-point streams without materializing a
   database.
+* :func:`churn_stream` — a seeded generator with a *controllable churn
+  rate*: only a chosen fraction of objects moves (or arrives/departs) per
+  tick, the rest stand perfectly still.  This is the GPS-fleet regime the
+  incremental clusterer targets, and the workload knob of
+  ``benchmarks/bench_incremental_clustering.py``.
 """
 
 from __future__ import annotations
@@ -174,3 +179,94 @@ def synthetic_stream(n_objects, n_snapshots, seed=0, *, eps=10.0,
         for i, walker in enumerate(loners):
             snapshot[ids[grouped + i]] = (walker.x, walker.y)
         yield t_start + tick, snapshot
+
+
+def churn_stream(n_objects, n_snapshots, seed=0, *, eps=10.0, churn=0.1,
+                 turnover=0.0, area=None, max_hop=None, t_start=0):
+    """Generate a seeded snapshot stream with a controllable churn rate.
+
+    Unlike :func:`synthetic_stream` (where *every* object advances every
+    tick), this source moves only ``round(churn * n)`` objects per tick —
+    each by a hop of at least ``eps / 2`` — and leaves the rest exactly in
+    place, optionally retiring a ``turnover`` fraction of objects in favour
+    of fresh ids.  That is the mostly-parked fleet regime where cross-tick
+    incremental clustering pays off; the equivalence and benchmark suites
+    sweep ``churn`` to chart the crossover against the full pass.
+
+    The stream is a pure function of its arguments: the same seed yields
+    identical snapshots across runs.  Snapshot dicts are freshly built each
+    tick with stable relative key order (new ids append at the end).
+
+    Args:
+        n_objects: objects per snapshot (held constant; each departure is
+            matched by an arrival).
+        n_snapshots: number of ticks to yield.
+        seed: RNG seed.
+        churn: fraction of objects that moves per tick, in [0, 1].
+        turnover: fraction of objects replaced (one id out, a fresh id in)
+            per tick, in [0, 1].
+        eps: distance scale; hops are drawn from ``[eps / 2, max_hop]``.
+        area: world side length (default ``40 * eps``).
+        max_hop: largest per-tick hop (default ``3 * eps``).
+        t_start: time of the first snapshot.
+
+    Yields:
+        ``(t, {object_id: (x, y)})`` with ids ``"c0", "c1", ...``.
+    """
+    if n_objects < 1:
+        raise ValueError(f"n_objects must be >= 1, got {n_objects}")
+    if n_snapshots < 1:
+        raise ValueError(f"n_snapshots must be >= 1, got {n_snapshots}")
+    if not 0.0 <= churn <= 1.0:
+        raise ValueError(f"churn must be in [0, 1], got {churn}")
+    if not 0.0 <= turnover <= 1.0:
+        raise ValueError(f"turnover must be in [0, 1], got {turnover}")
+    rng = random.Random(seed)
+    if area is None:
+        area = 40.0 * eps
+    if max_hop is None:
+        max_hop = 3.0 * eps
+    if max_hop < eps / 2.0:
+        raise ValueError(f"max_hop must be >= eps/2, got {max_hop}")
+    if area < 2.0 * max_hop:
+        # Any smaller and hops could not reliably stay inside the world
+        # (the re-draw loop below would exhaust and overshoot the bounds).
+        raise ValueError(
+            f"area must be >= 2 * max_hop = {2.0 * max_hop:g}, got {area}"
+        )
+    positions = {
+        f"c{i}": (rng.uniform(0.0, area), rng.uniform(0.0, area))
+        for i in range(n_objects)
+    }
+    next_id = n_objects
+    for tick in range(n_snapshots):
+        if tick:
+            ids = list(positions)
+            for o in rng.sample(ids, round(churn * len(ids))):
+                x, y = positions[o]
+                # Re-draw the direction until the hop lands inside the
+                # world — clamping instead would shorten boundary hops
+                # below the promised eps/2 (possibly to zero).
+                for _attempt in range(64):
+                    angle = rng.uniform(0.0, 2.0 * math.pi)
+                    hop = rng.uniform(eps / 2.0, max_hop)
+                    nx = x + hop * math.cos(angle)
+                    ny = y + hop * math.sin(angle)
+                    if 0.0 <= nx <= area and 0.0 <= ny <= area:
+                        break
+                else:
+                    # Vanishingly unlikely (even a corner point keeps a
+                    # quarter of all directions in bounds); head for the
+                    # centre, which is always a legal full-length hop.
+                    angle = math.atan2(area / 2.0 - y, area / 2.0 - x)
+                    hop = rng.uniform(eps / 2.0, max_hop)
+                    nx = x + hop * math.cos(angle)
+                    ny = y + hop * math.sin(angle)
+                positions[o] = (nx, ny)
+            for o in rng.sample(ids, round(turnover * len(ids))):
+                del positions[o]
+                positions[f"c{next_id}"] = (
+                    rng.uniform(0.0, area), rng.uniform(0.0, area)
+                )
+                next_id += 1
+        yield t_start + tick, dict(positions)

@@ -173,3 +173,129 @@ class TestEdgeCases:
         for qid in range(0, 120, 7):
             assert set(index.neighbors_of(qid, eps)) == \
                 brute_force_neighbors(points, points[qid], eps)
+
+
+class TestMutations:
+    """The remove/move API the incremental clusterer drives every tick."""
+
+    def test_remove_absent_id_raises_cleanly(self):
+        index = GridIndex(1.0, {"a": (0, 0)})
+        with pytest.raises(KeyError, match="ghost"):
+            index.remove("ghost")
+        index.remove("a")
+        with pytest.raises(KeyError, match="'a'"):
+            index.remove("a")  # double remove is absent too
+        assert len(index) == 0
+
+    def test_move_absent_id_raises_cleanly(self):
+        index = GridIndex(1.0)
+        with pytest.raises(KeyError):
+            index.move("ghost", (1.0, 1.0))
+
+    def test_removed_point_disappears_from_queries(self):
+        index = GridIndex(1.0, {"a": (0, 0), "b": (0.5, 0)})
+        index.remove("b")
+        assert "b" not in index
+        assert set(index.neighbors_of("a", 1.0)) == {"a"}
+
+    def test_reinsert_after_remove(self):
+        index = GridIndex(1.0, {"a": (0, 0), "b": (0.5, 0)})
+        index.remove("a")
+        index.insert("a", (5.0, 5.0))
+        assert index.location_of("a") == (5.0, 5.0)
+        assert set(index.neighbors_within((5.0, 5.0), 0.1)) == {"a"}
+        assert set(index.neighbors_within((0.0, 0.0), 1.0)) == {"b"}
+
+    def test_move_across_cell_boundary_and_back(self):
+        index = GridIndex(1.0, {"a": (0.5, 0.5), "b": (0.6, 0.5)})
+        index.move("a", (3.5, 0.5))       # leaves the 3x3 block around b
+        assert set(index.neighbors_of("b", 1.0)) == {"b"}
+        assert set(index.neighbors_of("a", 1.0)) == {"a"}
+        index.move("a", (0.5, 0.5))       # and back to the original cell
+        assert set(index.neighbors_of("b", 1.0)) == {"a", "b"}
+        assert index.location_of("a") == (0.5, 0.5)
+
+    def test_move_within_cell_updates_distance_filtering(self):
+        index = GridIndex(2.0, {"a": (0.1, 0.1), "b": (1.9, 0.1)})
+        assert set(index.neighbors_of("a", 1.0)) == {"a"}
+        index.move("b", (0.9, 0.1))       # same cell, now within radius
+        assert set(index.neighbors_of("a", 1.0)) == {"a", "b"}
+
+    def test_move_onto_negative_boundary(self):
+        index = GridIndex(1.0, {"a": (0.5, 0.5), "b": (-0.5, 0.5)})
+        index.move("a", (-1.0, 0.5))      # exact negative cell boundary
+        assert set(index.neighbors_of("b", 0.5)) == {"a", "b"}
+
+    @pytest.mark.parametrize("seed", [11, 12, 13])
+    def test_interleaved_mutations_match_brute_force_oracle(self, seed):
+        """Random insert/move/remove interleavings: queries always equal
+        the brute-force e-neighbourhood of the surviving points."""
+        rng = random.Random(seed)
+        index = GridIndex(2.0)
+        points = {}
+        next_id = 0
+        for step in range(300):
+            op = rng.random()
+            if op < 0.4 or not points:
+                xy = (rng.uniform(-15, 15), rng.uniform(-15, 15))
+                points[next_id] = xy
+                index.insert(next_id, xy)
+                next_id += 1
+            elif op < 0.7:
+                target = rng.choice(sorted(points))
+                xy = (rng.uniform(-15, 15), rng.uniform(-15, 15))
+                points[target] = xy
+                index.move(target, xy)
+            else:
+                target = rng.choice(sorted(points))
+                del points[target]
+                index.remove(target)
+            if step % 10 == 0 and points:
+                assert len(index) == len(points)
+                probe = points[rng.choice(sorted(points))]
+                radius = rng.choice([0.5, 2.0, 5.0])
+                assert set(index.neighbors_within(probe, radius)) == \
+                    brute_force_neighbors(points, probe, radius)
+
+    def test_empty_buckets_are_reclaimed(self):
+        """Long-lived streaming indexes must not accumulate ghost cells as
+        points drift across the grid."""
+        index = GridIndex(1.0, {"a": (0.5, 0.5)})
+        for step in range(1, 200):
+            index.move("a", (0.5 + step, 0.5))
+        assert len(index._cells) == 1
+        index.remove("a")
+        assert len(index._cells) == 0
+
+
+class TestNonFiniteCoordinates:
+    """Regression: NaN/inf coordinates used to corrupt cell hashing (NaN //
+    cell_size is NaN, int(NaN) raises far from the insert; inf overflows) —
+    they are now rejected up front with a clear error."""
+
+    @pytest.mark.parametrize("bad", [
+        (math.nan, 0.0), (0.0, math.nan),
+        (math.inf, 0.0), (0.0, -math.inf),
+    ])
+    def test_insert_rejects_non_finite(self, bad):
+        index = GridIndex(1.0, {"a": (0, 0)})
+        with pytest.raises(ValueError, match="finite"):
+            index.insert("bad", bad)
+        # the rejected point must leave no trace
+        assert "bad" not in index
+        assert len(index) == 1
+        assert set(index.neighbors_within((0.0, 0.0), 2.0)) == {"a"}
+
+    @pytest.mark.parametrize("bad", [
+        (math.nan, 0.0), (math.inf, math.inf),
+    ])
+    def test_move_rejects_non_finite_and_keeps_old_position(self, bad):
+        index = GridIndex(1.0, {"a": (1.5, 1.5)})
+        with pytest.raises(ValueError, match="finite"):
+            index.move("a", bad)
+        assert index.location_of("a") == (1.5, 1.5)
+        assert set(index.neighbors_of("a", 0.5)) == {"a"}
+
+    def test_bulk_load_rejects_non_finite(self):
+        with pytest.raises(ValueError, match="finite"):
+            GridIndex(1.0, {"a": (0, 0), "b": (math.nan, 1.0)})

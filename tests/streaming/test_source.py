@@ -5,7 +5,12 @@ import math
 import pytest
 
 from repro.io.csv_io import save_trajectories_csv
-from repro.streaming import replay_csv, replay_database, synthetic_stream
+from repro.streaming import (
+    churn_stream,
+    replay_csv,
+    replay_database,
+    synthetic_stream,
+)
 from repro.trajectory.database import TrajectoryDatabase
 from repro.trajectory.trajectory import Trajectory
 
@@ -129,3 +134,54 @@ class TestSyntheticStream:
         last = ticks[-1][1]
         moved = sum(1 for key in first if first[key] != last[key])
         assert moved >= 9  # walkers actually walk
+
+
+class TestChurnStream:
+    def test_shape_and_determinism(self):
+        a = list(churn_stream(30, 12, seed=9, churn=0.2, turnover=0.1))
+        b = list(churn_stream(30, 12, seed=9, churn=0.2, turnover=0.1))
+        assert a == b
+        assert [t for t, _snap in a] == list(range(12))
+        assert all(len(snap) == 30 for _t, snap in a)
+
+    def test_churn_fraction_moves_per_tick(self):
+        ticks = list(churn_stream(100, 10, seed=4, eps=5.0, churn=0.1))
+        for (_, before), (_, after) in zip(ticks, ticks[1:]):
+            movers = [o for o in before if after[o] != before[o]]
+            assert len(movers) == 10
+            # every hop clears eps/2 — the "movers beyond eps/2" regime
+            for o in movers:
+                (x0, y0), (x1, y1) = before[o], after[o]
+                hop = math.hypot(x1 - x0, y1 - y0)
+                assert hop >= 2.5  # eps / 2
+                assert 0.0 <= x1 <= 200.0 and 0.0 <= y1 <= 200.0
+
+    def test_zero_churn_freezes_positions(self):
+        ticks = list(churn_stream(25, 8, seed=1, churn=0.0))
+        assert all(snap == ticks[0][1] for _t, snap in ticks)
+
+    def test_turnover_replaces_ids(self):
+        ticks = list(churn_stream(40, 6, seed=2, churn=0.0, turnover=0.25))
+        first_ids = set(ticks[0][1])
+        last_ids = set(ticks[-1][1])
+        assert len(last_ids) == 40
+        assert first_ids != last_ids
+
+    def test_snapshots_are_fresh_dicts(self):
+        ticks = list(churn_stream(10, 3, seed=0, churn=0.0))
+        ticks[0][1].clear()
+        assert len(ticks[1][1]) == 10
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            list(churn_stream(0, 5))
+        with pytest.raises(ValueError):
+            list(churn_stream(5, 0))
+        with pytest.raises(ValueError):
+            list(churn_stream(5, 5, churn=1.5))
+        with pytest.raises(ValueError):
+            list(churn_stream(5, 5, turnover=-0.1))
+        with pytest.raises(ValueError):
+            list(churn_stream(5, 5, eps=10.0, max_hop=1.0))
+        with pytest.raises(ValueError):
+            list(churn_stream(5, 5, eps=10.0, area=5.0))  # hops can't fit

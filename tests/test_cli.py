@@ -149,6 +149,25 @@ class TestStream:
         assert "15 snapshot(s)" in text
         assert "synthetic 30x15 (seed 2)" in text
 
+    def test_incremental_flag_same_answer_plus_pass_report(self, convoy_csv,
+                                                           tmp_path):
+        base_out = tmp_path / "base.csv"
+        inc_out = tmp_path / "inc.csv"
+        code, base_text = run_cli(
+            ["stream", str(convoy_csv), "-m", "2", "-k", "10", "-e", "2.0",
+             "--output", str(base_out)]
+        )
+        assert code == 0
+        assert "incremental clustering:" not in base_text
+        code, inc_text = run_cli(
+            ["stream", str(convoy_csv), "-m", "2", "-k", "10", "-e", "2.0",
+             "--incremental", "--output", str(inc_out)]
+        )
+        assert code == 0
+        assert "incremental clustering:" in inc_text
+        assert "objects=a,b" in inc_text
+        assert inc_out.read_text() == base_out.read_text()
+
     def test_requires_exactly_one_input(self, convoy_csv):
         code, _ = run_cli(["stream", "-m", "2", "-k", "5", "-e", "1.0"])
         assert code == 2
