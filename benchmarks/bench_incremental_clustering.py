@@ -29,7 +29,7 @@ import time
 
 import pytest
 
-from benchmarks.common import print_report
+from benchmarks.common import print_report, write_bench_json
 from repro.bench import format_table
 from repro.clustering.dbscan import dbscan
 from repro.clustering.incremental import IncrementalSnapshotClusterer
@@ -129,12 +129,19 @@ def main(argv=None):
         help="CI-sized run: tiny stream, two churn levels, equivalence and "
         "delta-path assertions only (timings are not meaningful)",
     )
+    parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="also write the results as machine-readable JSON "
+        "(params, rates, speedup, git SHA)",
+    )
     args = parser.parse_args(argv)
     scale = SMOKE_SCALE if args.smoke else FULL_SCALE
     levels = (0.05, 0.10) if args.smoke else CHURN_LEVELS
+    json_rows = []
     rows = []
     for churn in levels:
         r = compare(churn, scale)
+        json_rows.append(r)
         rows.append([
             f"{r['churn']:.0%}",
             r["snapshots"],
@@ -160,6 +167,13 @@ def main(argv=None):
             rows,
         )
     )
+    if args.json:
+        write_bench_json(
+            args.json, "incremental_clustering",
+            dict(m=M, eps=EPS, smoke=args.smoke, **scale),
+            json_rows,
+        )
+        print(f"json results written to {args.json}")
     if args.smoke:
         print("smoke ok: incremental == dbscan on every tick, delta path "
               "exercised")

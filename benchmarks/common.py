@@ -17,6 +17,9 @@ every dataset's *shape* (see DESIGN.md §4 for the substitution argument).
 
 from __future__ import annotations
 
+import json
+import os
+import subprocess
 from functools import lru_cache
 
 from repro.datasets import DATASETS
@@ -48,3 +51,50 @@ def print_report(text):
     print()
     print(text)
     print()
+
+
+def git_sha():
+    """This repository's current commit hash, or ``"unknown"`` outside git.
+
+    Resolved relative to this file, not the caller's working directory, so
+    a bench invoked from inside another checkout still stamps its JSON
+    with the right commit.
+    """
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
+
+
+def write_bench_json(path, bench, params, rows):
+    """Write one bench run as machine-readable JSON for the perf trajectory.
+
+    Every bench that accepts ``--json PATH`` funnels through this writer so
+    the artifacts CI uploads share one schema:
+
+    ``{"bench": ..., "git_sha": ..., "params": {...}, "rows": [{...}]}``
+
+    Args:
+        path: output file path.
+        bench: the bench's name (e.g. ``"incremental_tracking"``).
+        params: dict of the run's fixed parameters (query parameters,
+            stream scale, smoke flag, ...).
+        rows: list of dicts, one per measured configuration, carrying the
+            bench's headline numbers (rates, speedups, counters).
+    """
+    payload = {
+        "bench": bench,
+        "git_sha": git_sha(),
+        "params": dict(params),
+        "rows": [dict(row) for row in rows],
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return payload

@@ -23,6 +23,7 @@ import argparse
 import sys
 import time
 
+from repro.clustering.incremental import IncrementalSnapshotClusterer
 from repro.core.cmc import cmc
 from repro.core.cuts import VARIANTS, cuts
 from repro.core.verification import normalize_convoys
@@ -93,9 +94,15 @@ def build_parser():
                         help="use Algorithm 1's published candidate rule")
     stream.add_argument(
         "--incremental", action="store_true",
-        help="maintain the previous snapshot's clustering across ticks "
-        "(identical convoys; faster when most objects stand still between "
-        "snapshots)",
+        help="maintain the previous snapshot's clustering across ticks and "
+        "propagate its cluster diff into the candidate tracker (identical "
+        "convoys; faster when most objects stand still between snapshots)",
+    )
+    stream.add_argument(
+        "--churn-threshold", default=None, metavar="FRACTION|adaptive",
+        help="with --incremental: fall back to a full clustering pass when "
+        "more than this fraction of the snapshot changed (default 0.35), "
+        "or 'adaptive' to estimate the crossover from measured pass costs",
     )
     stream.add_argument("--quiet", action="store_true",
                         help="suppress per-convoy lines; print the summary only")
@@ -196,11 +203,33 @@ def _cmd_stream(args, out):
     else:
         source = replay_csv(args.csv)
         label = args.csv
+    if args.churn_threshold is not None and not args.incremental:
+        print("--churn-threshold only applies with --incremental", file=out)
+        return 2
     try:
+        clusterer = None
+        if args.incremental:
+            if args.churn_threshold is None:
+                clusterer = IncrementalSnapshotClusterer(args.eps, args.m)
+            else:
+                threshold = args.churn_threshold
+                if threshold != "adaptive":
+                    try:
+                        threshold = float(threshold)
+                    except ValueError:
+                        print(
+                            f"bad --churn-threshold value: expected a "
+                            f"fraction or 'adaptive', got {threshold!r}",
+                            file=out,
+                        )
+                        return 2
+                clusterer = IncrementalSnapshotClusterer(
+                    args.eps, args.m, churn_threshold=threshold
+                )
         miner = StreamingConvoyMiner(
             args.m, args.k, args.eps,
             paper_semantics=args.paper_semantics, window=args.window,
-            clusterer="incremental" if args.incremental else None,
+            clusterer=clusterer,
         )
     except ValueError as exc:
         print(f"bad query parameters: {exc}", file=out)
@@ -243,6 +272,15 @@ def _cmd_stream(args, out):
             f"points reclustered",
             file=out,
         )
+        if counters.get("delta_steps"):
+            spliced = counters["spliced_candidates"]
+            reintersected = counters["reintersected_candidates"]
+            print(
+                f"candidate tracking: {spliced} candidate step(s) spliced "
+                f"+ {reintersected} re-intersected across "
+                f"{counters['delta_steps']} diff-aware step(s)",
+                file=out,
+            )
     if args.output:
         # Same normalization as ``discover`` so the two subcommands'
         # artifacts are directly comparable.

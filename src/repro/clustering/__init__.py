@@ -22,11 +22,17 @@ DBSCAN from scratch in three layers:
 from repro.clustering.dbscan import dbscan
 from repro.clustering.generic_dbscan import density_cluster
 from repro.clustering.grid_index import GridIndex
-from repro.clustering.incremental import IncrementalSnapshotClusterer
+from repro.clustering.incremental import (
+    AdaptiveChurnThreshold,
+    ClusterDelta,
+    IncrementalSnapshotClusterer,
+)
 from repro.clustering.polyline import PartitionPolyline
 from repro.clustering.range_search import PolylineRangeSearcher, polyline_omega
 
 __all__ = [
+    "AdaptiveChurnThreshold",
+    "ClusterDelta",
     "GridIndex",
     "IncrementalSnapshotClusterer",
     "PartitionPolyline",

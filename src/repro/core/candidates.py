@@ -66,13 +66,50 @@ subset of the chain's window cluster there, because density clusters are
 disjoint and the window cluster contains the chain's objects.)  Window
 histories are kept as shared-prefix cons lists so a long chain costs O(1)
 per step, and are only materialized when a chain closes.
+
+Diff-aware stepping
+-------------------
+
+:meth:`CandidateTracker.advance` re-intersects every live candidate
+against every cluster, even when the clustering barely changed since the
+previous step.  :meth:`CandidateTracker.advance_delta` accepts the
+:class:`~repro.clustering.incremental.ClusterDelta` the incremental
+clusterer produces anyway and exploits two facts:
+
+* snapshot clusters are disjoint, and every live candidate's object set is
+  contained in the cluster that last extended (or seeded) it — its
+  *support* cluster;
+* therefore a candidate whose support cluster is ``unchanged`` this step
+  (same member set) can only be extended by that same cluster, and the
+  extension preserves its full member set.
+
+Such candidates are *spliced* straight through — ``t_end`` advanced and
+the window history extended in O(1), no set intersection — while
+candidates whose support is dirty (changed, rebuilt under a fresh id, or
+vanished) are re-intersected against the dirty clusters only (an
+unchanged cluster is disjoint from every candidate it does not support).
+Candidates carrying no support id (the previous step ran the classic
+:meth:`advance`) are re-intersected against everything.  The survivor
+*order*, the reports, and the window histories are bit-for-bit what
+:meth:`advance` would produce; the differential suite in
+``tests/streaming/test_delta_equivalence.py`` holds the two paths equal
+tick for tick.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.clustering.incremental import UNCHANGED
 from repro.core.convoy import Convoy
+
+#: Counter keys a tracker maintains in its ``counters`` dict.
+COUNTER_KEYS = (
+    "advance_steps",
+    "delta_steps",
+    "spliced_candidates",
+    "reintersected_candidates",
+)
 
 
 @dataclass(frozen=True)
@@ -120,16 +157,21 @@ class _Live:
     """One live candidate chain (mutable while tracked).
 
     ``history`` is a cons node ``(parent_node, ws, we, members)`` sharing
-    its prefix with the parent chain's node.
+    its prefix with the parent chain's node.  ``support`` is the stable id
+    (per :class:`~repro.clustering.incremental.ClusterDelta`) of the
+    cluster that extended or seeded the chain at the last step — the
+    chain's objects are a subset of that cluster — or None when the last
+    step ran without cluster ids.
     """
 
-    __slots__ = ("objects", "t_start", "t_end", "history")
+    __slots__ = ("objects", "t_start", "t_end", "history", "support")
 
-    def __init__(self, objects, t_start, t_end, history):
+    def __init__(self, objects, t_start, t_end, history, support=None):
         self.objects = objects
         self.t_start = t_start
         self.t_end = t_end
         self.history = history
+        self.support = support
 
     @property
     def lifetime(self):
@@ -156,13 +198,18 @@ class CandidateTracker:
         min_lifetime: the convoy query's ``k`` (in time points).
         paper_semantics: reproduce Algorithm 1's seeding rule verbatim
             (False by default — see the module docstring).
+        counters: optional dict receiving bookkeeping totals (the
+            ``COUNTER_KEYS``); a fresh dict is created when omitted and is
+            always available as :attr:`counters`.
 
-    Usage: call :meth:`advance` once per time step (or partition) with the
+    Usage: call :meth:`advance` (or, with cluster diffs available,
+    :meth:`advance_delta`) once per time step (or partition) with the
     clusters found there; collect the :class:`ClosedCandidate` records it
     reports; call :meth:`flush` after the last step.
     """
 
-    def __init__(self, min_objects, min_lifetime, paper_semantics=False):
+    def __init__(self, min_objects, min_lifetime, paper_semantics=False,
+                 counters=None):
         if min_objects < 1:
             raise ValueError(f"m must be >= 1, got {min_objects}")
         if min_lifetime < 1:
@@ -172,6 +219,24 @@ class CandidateTracker:
         self._paper_semantics = paper_semantics
         self._candidates = []
         self._last_end = None
+        self.counters = counters if counters is not None else {}
+        for key in COUNTER_KEYS:
+            self.counters.setdefault(key, 0)
+
+    def _begin_step(self, window_start, window_end):
+        """Validate one step's window against the step-ordering contract."""
+        if window_end < window_start:
+            raise ValueError(
+                f"window reversed: [{window_start}, {window_end}]"
+            )
+        if self._last_end is not None and window_start <= self._last_end:
+            raise ValueError(
+                f"steps must advance in time: window [{window_start}, "
+                f"{window_end}] does not start after the previous end "
+                f"{self._last_end}"
+            )
+        self._last_end = window_end
+        self.counters["advance_steps"] += 1
 
     @property
     def live_candidates(self):
@@ -202,15 +267,13 @@ class CandidateTracker:
             List of :class:`ClosedCandidate` — chains that died at this
             step after living at least ``k`` time points.
         """
-        if window_end < window_start:
-            raise ValueError(f"window reversed: [{window_start}, {window_end}]")
-        if self._last_end is not None and window_start <= self._last_end:
-            raise ValueError(
-                f"steps must advance in time: window [{window_start}, "
-                f"{window_end}] after end {self._last_end}"
-            )
-        self._last_end = window_end
+        self._begin_step(window_start, window_end)
         usable = [frozenset(c) for c in clusters if len(c) >= self._m]
+        if usable:
+            # Clusterless steps (gaps, below-m snapshots) close every chain
+            # without a single set intersection; counting them would
+            # attribute classic-path work to steps that did none.
+            self.counters["reintersected_candidates"] += len(self._candidates)
         closed = []
         survivors = {}  # (objects, t_start) -> _Live
         extended = [False] * len(usable)
@@ -258,6 +321,135 @@ class CandidateTracker:
                         window_start,
                         window_end,
                         (None, window_start, window_end, cluster),
+                    )
+        self._candidates = list(survivors.values())
+        return closed
+
+    def advance_delta(self, clusters, delta, window_start, window_end):
+        """Process one time step using a cluster diff (see module docs).
+
+        Produces exactly what ``advance(clusters, ...)`` would — the same
+        reports in the same order, the same survivors in the same order,
+        the same window histories — but pays per-candidate set
+        intersections only around clusters the diff marks dirty.
+
+        Args:
+            clusters: this step's cluster list, parallel to ``delta.ids``.
+            delta: the :class:`~repro.clustering.incremental.ClusterDelta`
+                describing ``clusters`` against the *previous step's*
+                clusters.  The diff must be stated against the cluster
+                list of this tracker's immediately preceding non-empty
+                step (the streaming engine guarantees that by feeding
+                every clustering it runs straight to the tracker).  None
+                falls back to the classic full re-intersection.
+            window_start, window_end: as for :meth:`advance`.
+
+        Returns:
+            List of :class:`ClosedCandidate`, exactly as :meth:`advance`.
+        """
+        if delta is None:
+            return self.advance(clusters, window_start, window_end)
+        if len(delta.ids) != len(clusters):
+            raise ValueError(
+                f"delta describes {len(delta.ids)} clusters, got "
+                f"{len(clusters)}"
+            )
+        self._begin_step(window_start, window_end)
+        self.counters["delta_steps"] += 1
+        usable = []  # (frozenset members, stable id, is_dirty)
+        for members, cid, status in zip(clusters, delta.ids, delta.status):
+            if len(members) >= self._m:
+                usable.append((frozenset(members), cid, status != UNCHANGED))
+        unchanged_at = {
+            cid: index
+            for index, (_members, cid, dirty) in enumerate(usable)
+            if not dirty
+        }
+        dirty_indexes = [
+            index for index, (_m, _c, dirty) in enumerate(usable) if dirty
+        ]
+        closed = []
+        survivors = {}  # (objects, t_start) -> _Live, in classic order
+        extended = [False] * len(usable)
+        spliced = reintersected = 0
+        for candidate in self._candidates:
+            support = candidate.support
+            if support is not None and support in unchanged_at:
+                # Sole possible extension, full member-set preservation:
+                # splice the chain through in O(1).
+                index = unchanged_at[support]
+                cluster = usable[index][0]
+                extended[index] = True
+                spliced += 1
+                key = (candidate.objects, candidate.t_start)
+                if key not in survivors:
+                    survivors[key] = _Live(
+                        candidate.objects,
+                        candidate.t_start,
+                        window_end,
+                        (candidate.history, window_start, window_end,
+                         cluster),
+                        support=support,
+                    )
+                continue
+            # Dirty or unknown support: re-intersect.  A known support
+            # confines the candidate inside a dirty (or vanished) previous
+            # cluster, so only dirty clusters can reach m shared objects;
+            # an unknown support (previous step ran the classic advance)
+            # gets the full scan.
+            if support is not None:
+                scan = dirty_indexes
+            else:
+                scan = range(len(usable))
+            if scan:
+                # Mirror advance()'s rule: only count candidates that
+                # actually enter an intersection scan, so clusterless or
+                # all-unchanged steps don't inflate the re-intersection
+                # totals the CLI and benches report.
+                reintersected += 1
+            assigned = False
+            preserved = False
+            for index in scan:
+                cluster, cid, _dirty = usable[index]
+                common = candidate.objects & cluster
+                if len(common) >= self._m:
+                    assigned = True
+                    extended[index] = True
+                    if len(common) == len(candidate.objects):
+                        preserved = True
+                    key = (common, candidate.t_start)
+                    if key not in survivors:
+                        survivors[key] = _Live(
+                            common,
+                            candidate.t_start,
+                            window_end,
+                            (candidate.history, window_start, window_end,
+                             cluster),
+                            support=cid,
+                        )
+            if self._paper_semantics:
+                report_run = not assigned
+            else:
+                report_run = not preserved
+            if report_run and candidate.lifetime >= self._k:
+                closed.append(candidate.close())
+        self.counters["spliced_candidates"] += spliced
+        self.counters["reintersected_candidates"] += reintersected
+        survivor_objects = {live.objects for live in survivors.values()}
+        for index, (cluster, cid, _dirty) in enumerate(usable):
+            if self._paper_semantics:
+                seed = not extended[index]
+            else:
+                seed = cluster not in survivor_objects
+            if seed:
+                key = (cluster, window_start)
+                if key not in survivors:
+                    survivors[key] = _Live(
+                        cluster,
+                        window_start,
+                        window_end,
+                        (None, window_start, window_end, cluster),
+                        support=cid,
                     )
         self._candidates = list(survivors.values())
         return closed

@@ -55,7 +55,13 @@ def cmc(database, m, k, eps, time_range=None, counters=None,
             :class:`~repro.streaming.StreamingConvoyMiner` — ``None`` /
             ``"full"`` (default) for a fresh DBSCAN per time point,
             ``"incremental"`` for cross-tick delta maintenance (identical
-            answer, faster on slow-moving databases).
+            answer, faster on slow-moving databases).  The incremental
+            clusterer's cluster diff additionally flows into the candidate
+            step (``CandidateTracker.advance_delta``), so candidates
+            supported by unchanged clusters are spliced through without
+            re-intersection; a pre-built ``IncrementalSnapshotClusterer``
+            instance (e.g. with an adaptive churn threshold) is accepted
+            too.
 
     Returns:
         List of :class:`repro.core.convoy.Convoy`, in discovery order.

@@ -40,7 +40,7 @@ from repro.clustering.spatial_join import JoinPolyline, polyline_adjacency
 from repro.core.candidates import CandidateTracker
 from repro.core.cmc import cmc
 from repro.core.params import compute_delta, compute_lambda
-from repro.core.partition import TimePartitioner, build_partition_polylines
+from repro.core.partition import TimePartitioner
 from repro.core.verification import normalize_convoys
 from repro.simplification import SIMPLIFIERS
 

@@ -18,11 +18,7 @@ import math
 import random
 from dataclasses import dataclass, field
 
-from repro.datasets.movers import (
-    group_trajectories,
-    irregular_sample,
-    waypoint_positions,
-)
+from repro.datasets.movers import waypoint_positions
 from repro.datasets.planting import PlantedConvoy
 from repro.trajectory.database import TrajectoryDatabase
 from repro.trajectory.point import TrajectoryPoint

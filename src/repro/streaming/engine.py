@@ -14,6 +14,19 @@ a fresh :func:`~repro.clustering.dbscan.dbscan` per tick, and
 produces identical clusters (hence identical convoys) while only paying
 for the objects that actually moved.
 
+With the incremental clusterer the diff it computes anyway — a
+:class:`~repro.clustering.incremental.ClusterDelta` of stable cluster ids
+with unchanged/changed/appeared/vanished classifications — is propagated
+into the candidate step: a clusterer exposing ``cluster_with_delta`` makes
+``feed`` call :meth:`~repro.core.candidates.CandidateTracker.advance_delta`,
+which splices candidates whose supporting cluster came through unchanged
+in O(1) instead of re-intersecting every candidate against every cluster.
+Both layers of the per-tick cost are then proportional to what actually
+changed.  Clusterers without a delta (the fresh-DBSCAN default, custom
+``cluster()`` objects) and cluster-free ticks (gaps, fewer than ``m``
+objects) automatically take the classic full
+:meth:`~repro.core.candidates.CandidateTracker.advance` path.
+
 The offline :func:`repro.core.cmc.cmc` delegates its per-snapshot step to
 this engine, so the chaining semantics (including the ``paper_semantics``
 switch and the gap rule — see :mod:`repro.core.candidates`) exist in one
@@ -69,9 +82,13 @@ class StreamingConvoyMiner:
             :class:`~repro.clustering.incremental.IncrementalSnapshotClusterer`
             (identical clusters, hence identical convoys, but much faster
             when consecutive snapshots overlap heavily); any object with a
-            ``cluster(snapshot) -> list[set]`` method is used as-is.  The
-            chosen strategy is introspectable as :attr:`clusterer` (``None``
-            for the full pass).
+            ``cluster(snapshot) -> list[set]`` method is used as-is, and
+            one that also exposes ``cluster_with_delta`` (as the
+            incremental clusterer does) feeds its cluster diff to the
+            candidate tracker's diff-aware
+            :meth:`~repro.core.candidates.CandidateTracker.advance_delta`
+            step.  The chosen strategy is introspectable as
+            :attr:`clusterer` (``None`` for the full pass).
 
     Usage::
 
@@ -93,8 +110,14 @@ class StreamingConvoyMiner:
             raise ValueError(f"eps must be positive, got {eps}")
         if window is not None and window < k:
             raise ValueError(f"window must be >= k={k}, got {window}")
-        # CandidateTracker validates m and k.
-        self._tracker = CandidateTracker(m, k, paper_semantics=paper_semantics)
+        self.counters = counters if counters is not None else {}
+        for key in COUNTER_KEYS:
+            self.counters.setdefault(key, 0)
+        # CandidateTracker validates m and k, and adds its own counter
+        # keys (splice/re-intersection totals) to the shared dict.
+        self._tracker = CandidateTracker(
+            m, k, paper_semantics=paper_semantics, counters=self.counters
+        )
         self._m = m
         self._k = k
         self._eps = eps
@@ -112,9 +135,6 @@ class StreamingConvoyMiner:
             )
         self._last_t = None
         self._flushed = False
-        self.counters = counters if counters is not None else {}
-        for key in COUNTER_KEYS:
-            self.counters.setdefault(key, 0)
 
     @property
     def last_time(self):
@@ -148,25 +168,35 @@ class StreamingConvoyMiner:
         t = int(t)
         if self._last_t is not None and t <= self._last_t:
             raise ValueError(
-                f"snapshots must advance in time: t={t} after t={self._last_t}"
+                f"snapshots must arrive in strictly increasing time order: "
+                f"got t={t} after already ingesting t={self._last_t}"
             )
         closed = []
         if self._last_t is not None and t > self._last_t + 1:
             # The skipped points [last_t+1, t-1] had no data: no cluster can
             # exist there, so every chain's run of consecutive points ends.
             closed.extend(self._tracker.advance((), self._last_t + 1, t - 1))
+        delta = None
         if len(snapshot) >= self._m:
             if self.clusterer is None:
                 clusters = dbscan(snapshot, self._eps, self._m)
             else:
-                clusters = self.clusterer.cluster(snapshot)
+                cluster_with_delta = getattr(
+                    self.clusterer, "cluster_with_delta", None
+                )
+                if cluster_with_delta is not None:
+                    clusters, delta = cluster_with_delta(snapshot)
+                else:
+                    clusters = self.clusterer.cluster(snapshot)
             self.counters["clustering_calls"] += 1
             self.counters["clustered_points"] += len(snapshot)
         else:
             # Fewer than m objects reported: no cluster can exist, and the
             # empty advance ends every chain (the tracker's gap rule).
             clusters = ()
-        closed.extend(self._tracker.advance(clusters, t, t))
+        # advance_delta itself falls back to the classic advance when no
+        # delta is available (fresh DBSCAN, custom clusterers, gap ticks).
+        closed.extend(self._tracker.advance_delta(clusters, delta, t, t))
         if self._window is not None:
             closed.extend(self._tracker.prune_longer_than(self._window))
         self._last_t = t

@@ -5,11 +5,7 @@ import pytest
 from repro.baselines.moving_clusters import MovingCluster, mc2, mc2_convoy_answers
 from repro.core.cmc import cmc
 from repro.core.convoy import Convoy
-from repro.core.verification import (
-    false_negative_rate,
-    false_positive_rate,
-    normalize_convoys,
-)
+from repro.core.verification import false_negative_rate, normalize_convoys
 from repro.trajectory.database import TrajectoryDatabase
 from repro.trajectory.trajectory import Trajectory
 

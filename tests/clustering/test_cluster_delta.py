@@ -1,0 +1,231 @@
+"""ClusterDelta contract tests and the adaptive churn-threshold policy.
+
+The :class:`~repro.clustering.incremental.ClusterDelta` returned by
+``cluster_with_delta`` is what the candidate tracker's splice path trusts,
+so its contract is checked against a brute-force oracle: replaying the
+stream while remembering every ``{id: member set}`` from the previous tick
+and verifying each classification literally — ``unchanged`` really means
+the identical member set, ``vanished`` is exactly the disappeared ids, and
+ids are never reused.
+"""
+
+import random
+
+import pytest
+
+from repro.clustering.dbscan import dbscan
+from repro.clustering.incremental import (
+    APPEARED,
+    CHANGED,
+    UNCHANGED,
+    AdaptiveChurnThreshold,
+    ClusterDelta,
+    IncrementalSnapshotClusterer,
+)
+from repro.streaming import churn_stream
+
+
+def assert_delta_contract(snapshots, eps, m, **kwargs):
+    """Replay a stream checking every delta against the previous tick."""
+    clusterer = IncrementalSnapshotClusterer(eps, m, **kwargs)
+    previous = {}   # id -> frozenset(members) as of the last tick
+    ever = set()    # every id that has ever appeared
+    for tick, snapshot in enumerate(snapshots):
+        clusters, delta = clusterer.cluster_with_delta(snapshot)
+        assert clusters == dbscan(snapshot, eps, m), f"tick {tick}"
+        assert len(delta.ids) == len(clusters) == len(delta.status)
+        assert len(set(delta.ids)) == len(delta.ids), "duplicate ids"
+        current = {}
+        for members, cid, status in zip(clusters, delta.ids, delta.status):
+            current[cid] = frozenset(members)
+            if status == UNCHANGED:
+                assert previous.get(cid) == frozenset(members), (
+                    f"tick {tick}: cluster {cid} marked unchanged but "
+                    f"was {previous.get(cid)} -> {sorted(members)}"
+                )
+            elif status == CHANGED:
+                assert cid in previous, f"tick {tick}: changed id {cid} is new"
+                assert previous[cid] != frozenset(members), (
+                    f"tick {tick}: cluster {cid} marked changed but is equal"
+                )
+            elif status == APPEARED:
+                assert cid not in ever, f"tick {tick}: id {cid} reused"
+            else:
+                raise AssertionError(f"unknown status {status!r}")
+        assert set(delta.vanished) == set(previous) - set(current), (
+            f"tick {tick}: vanished {delta.vanished}"
+        )
+        assert list(delta.vanished) == sorted(delta.vanished)
+        ever.update(current)
+        previous = current
+    return clusterer
+
+
+def churn_snapshots(churn, *, n=80, ticks=35, turnover=0.03, seed=5,
+                    eps=5.0, area=None):
+    return [
+        snap for _t, snap in churn_stream(
+            n, ticks, seed=seed, eps=eps, churn=churn, turnover=turnover,
+            area=area,
+        )
+    ]
+
+
+class TestDeltaContract:
+    @pytest.mark.parametrize("churn", [0.0, 0.05, 0.2, 0.6])
+    def test_churn_stream(self, churn):
+        assert_delta_contract(churn_snapshots(churn), 5.0, 3)
+
+    def test_dense_stream_with_border_contention(self):
+        """Small area: clusters merge/split constantly, borders contested."""
+        assert_delta_contract(
+            churn_snapshots(0.1, n=90, area=60.0), 5.0, 3
+        )
+
+    def test_key_order_shuffles_flip_changed(self):
+        """Shuffling keys without moving anyone can only yield unchanged or
+        changed (border ties flipping) — never appeared/vanished."""
+        rng = random.Random(3)
+        pos = {f"o{i}": (rng.uniform(0, 25), rng.uniform(0, 25))
+               for i in range(60)}
+        snapshots = []
+        for _ in range(20):
+            items = list(pos.items())
+            rng.shuffle(items)
+            snapshots.append(dict(items))
+        clusterer = IncrementalSnapshotClusterer(3.0, 2)
+        clusterer.cluster(snapshots[0])
+        for snapshot in snapshots[1:]:
+            _clusters, delta = clusterer.cluster_with_delta(snapshot)
+            assert delta.vanished == ()
+            assert all(s in (UNCHANGED, CHANGED) for s in delta.status)
+        assert_delta_contract(snapshots, 3.0, 2)
+
+    def test_full_pass_marks_everything_appeared(self):
+        snapshots = churn_snapshots(0.05, ticks=6)
+        clusterer = IncrementalSnapshotClusterer(5.0, 3, churn_threshold=0.0)
+        previous_ids = set()
+        for snapshot in snapshots:
+            clusters, delta = clusterer.cluster_with_delta(snapshot)
+            assert all(s == APPEARED for s in delta.status)
+            assert set(delta.vanished) == previous_ids
+            previous_ids = set(delta.ids)
+        assert clusterer.counters["full_passes"] == len(snapshots)
+
+    def test_frozen_world_is_all_unchanged(self):
+        snapshot = churn_snapshots(0.0, ticks=1)[0]
+        clusterer = IncrementalSnapshotClusterer(5.0, 3)
+        _clusters, first = clusterer.cluster_with_delta(dict(snapshot))
+        clusters, delta = clusterer.cluster_with_delta(dict(snapshot))
+        assert all(s == APPEARED for s in first.status)
+        assert all(s == UNCHANGED for s in delta.status)
+        assert delta.ids == first.ids
+        assert delta.vanished == ()
+        assert delta.unchanged_count == len(clusters)
+
+    def test_cluster_and_cluster_with_delta_agree(self):
+        snapshots = churn_snapshots(0.1, ticks=10)
+        a = IncrementalSnapshotClusterer(5.0, 3)
+        b = IncrementalSnapshotClusterer(5.0, 3)
+        for snapshot in snapshots:
+            assert a.cluster(snapshot) == b.cluster_with_delta(snapshot)[0]
+
+    def test_delta_validates_parallel_lengths(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            ClusterDelta(ids=(1, 2), status=(UNCHANGED,), vanished=())
+
+
+class TestAdaptiveChurnThreshold:
+    def test_initial_threshold_until_fit_is_identifiable(self):
+        policy = AdaptiveChurnThreshold(initial=0.4)
+        assert policy.threshold == 0.4
+        policy.observe_full(1000, 0.1)
+        assert policy.threshold == 0.4  # no delta observation yet
+        policy.observe_delta(100, 1000, 0.05)
+        policy.observe_delta(100, 1000, 0.06)
+        # Every delta pass so far ran at the same churn fraction: the
+        # fixed/variable split is unidentifiable, so the threshold holds.
+        assert policy.threshold == 0.4
+
+    def test_crossover_math_on_affine_data(self):
+        # Exact affine observations pin the fit regardless of EWMA
+        # weights: u = 3e-5 + 2e-4 * c, full passes at 1e-4 s/point
+        # -> crossover (1e-4 - 3e-5) / 2e-4 = 0.35.
+        policy = AdaptiveChurnThreshold(initial=0.9, alpha=0.5)
+        policy.observe_full(1000, 0.1)
+        policy.observe_delta(100, 1000, 0.05)   # c=0.1, u=5e-5
+        policy.observe_delta(300, 1000, 0.09)   # c=0.3, u=9e-5
+        assert policy.threshold == pytest.approx(0.35)
+
+    def test_low_churn_fixed_cost_does_not_ratchet_to_floor(self):
+        """Regression: a naive seconds-per-churned-point model folds the
+        O(n) fixed delta cost into the slope, so cheap low-churn passes
+        looked expensive and the threshold ratcheted to the floor.  The
+        affine fit must keep the true crossover instead."""
+        policy = AdaptiveChurnThreshold(initial=0.35, floor=0.02)
+        policy.observe_full(800, 0.08)           # phi = 1e-4
+        # Delta passes at 1% and 2% churn, dominated by a fixed cost of
+        # 2e-5 s/point with slope 1e-4: u(0.01)=2.1e-5, u(0.02)=2.2e-5.
+        # Naive per-churned-point units would be 2.1e-3 and 1.1e-3 —
+        # 10-20x the full unit, i.e. "never use delta".
+        for _ in range(10):
+            policy.observe_delta(8, 800, 0.0168)
+            policy.observe_delta(16, 800, 0.0176)
+        assert policy.threshold == pytest.approx(0.8, rel=1e-6)
+
+    def test_zero_churn_passes_anchor_the_intercept(self):
+        policy = AdaptiveChurnThreshold()
+        policy.observe_full(1000, 0.1)            # phi = 1e-4
+        policy.observe_delta(0, 1000, 0.02)       # c=0, u=2e-5 (intercept)
+        policy.observe_delta(200, 1000, 0.06)     # c=0.2, u=6e-5 -> b=2e-4
+        assert policy.threshold == pytest.approx(0.4)
+
+    def test_clamped_to_floor_and_ceiling(self):
+        policy = AdaptiveChurnThreshold(floor=0.1, ceiling=0.8)
+        policy.observe_full(1000, 0.001)          # phi = 1e-6: full is free
+        policy.observe_delta(0, 1000, 0.01)
+        policy.observe_delta(500, 1000, 0.5)      # steep, costly delta
+        assert policy.threshold == 0.1
+        fast = AdaptiveChurnThreshold(floor=0.1, ceiling=0.8)
+        fast.observe_full(1000, 1.0)              # phi = 1e-3: full is slow
+        fast.observe_delta(0, 1000, 0.00001)
+        fast.observe_delta(500, 1000, 0.00002)    # near-free delta
+        assert fast.threshold == 0.8
+
+    def test_negative_slope_is_ignored_as_noise(self):
+        policy = AdaptiveChurnThreshold(initial=0.3)
+        policy.observe_full(1000, 0.1)
+        policy.observe_delta(100, 1000, 0.09)    # higher churn...
+        policy.observe_delta(500, 1000, 0.01)    # ...measured cheaper
+        assert policy.threshold == 0.3
+
+    def test_degenerate_observations_ignored(self):
+        policy = AdaptiveChurnThreshold(initial=0.3)
+        policy.observe_full(0, 1.0)
+        policy.observe_delta(-1, 1000, 1.0)
+        policy.observe_delta(10, 0, 1.0)
+        policy.observe_full(10, 0.0)
+        policy.observe_delta(10, 1000, 0.0)
+        assert policy.threshold == 0.3
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            AdaptiveChurnThreshold(initial=1.5)
+        with pytest.raises(ValueError):
+            AdaptiveChurnThreshold(alpha=0.0)
+        with pytest.raises(ValueError):
+            AdaptiveChurnThreshold(floor=0.5, ceiling=0.2)
+
+    def test_clusterer_accepts_adaptive_forms(self):
+        snapshots = churn_snapshots(0.05, ticks=12)
+        for form in ("adaptive", AdaptiveChurnThreshold(initial=0.5)):
+            clusterer = assert_delta_contract(
+                snapshots, 5.0, 3, churn_threshold=form
+            )
+            assert 0.0 <= clusterer.churn_threshold <= 1.0
+
+    def test_clusterer_rejects_bad_threshold_values(self):
+        with pytest.raises(ValueError, match="adaptive"):
+            IncrementalSnapshotClusterer(1.0, 2, churn_threshold=1.5)
+        with pytest.raises(ValueError, match="adaptive"):
+            IncrementalSnapshotClusterer(1.0, 2, churn_threshold="fast")

@@ -5,11 +5,7 @@ reference implementations, and the sweep must return the same adjacency as
 the brute-force all-pairs test.
 """
 
-import math
 import random
-
-from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.clustering.polyline import PartitionPolyline
 from repro.clustering.range_search import polyline_omega
@@ -19,8 +15,6 @@ from repro.clustering.spatial_join import (
     polyline_adjacency,
 )
 from repro.trajectory.segment import TimestampedSegment
-
-coord = st.floats(min_value=-100, max_value=100, allow_nan=False)
 
 
 def random_polyline(rng, object_id, t0, num_segments, step=5.0, tol_max=3.0):

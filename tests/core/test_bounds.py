@@ -8,11 +8,8 @@ objects must be farther than ``e`` apart at every shared time point.
 import math
 import random
 
-import pytest
-
 from repro.clustering.polyline import PartitionPolyline
 from repro.core.bounds import lemma1_prunes, lemma2_prunes, lemma3_prunes, omega
-from repro.geometry.bbox import box_of_points
 from repro.geometry.distance import point_distance
 from repro.simplification import douglas_peucker, douglas_peucker_star
 from repro.trajectory.trajectory import Trajectory

@@ -7,10 +7,7 @@ from repro.core.verification import normalize_convoys
 from repro.datasets.paperlike import (
     DATASETS,
     PAPER_TABLE3,
-    car_dataset,
-    cattle_dataset,
     synthetic_dataset,
-    taxi_dataset,
     truck_dataset,
 )
 

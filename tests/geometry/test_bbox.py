@@ -1,7 +1,5 @@
 """Tests for bounding boxes and the Dmin box distance."""
 
-import math
-
 import pytest
 from hypothesis import given
 from hypothesis import strategies as st

@@ -1,7 +1,5 @@
 """Unit tests for the 2-D vector helpers."""
 
-import math
-
 from hypothesis import given
 from hypothesis import strategies as st
 

@@ -8,7 +8,6 @@ exactly the exact algorithm's normalized answer set.
 
 import random
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

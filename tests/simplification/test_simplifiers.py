@@ -5,8 +5,6 @@ import math
 import random
 
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.geometry.distance import point_segment_distance
 from repro.simplification import (

@@ -33,6 +33,20 @@ class TestValidation:
         with pytest.raises(ValueError):
             miner.feed(4, pair_snapshot(4))
 
+    def test_out_of_order_error_names_both_timestamps(self):
+        """Regression: the non-increasing-time contract must fail loudly,
+        naming the offending and the last-ingested timestamps."""
+        miner = StreamingConvoyMiner(2, 3, 2.0)
+        miner.feed(7, pair_snapshot(7))
+        with pytest.raises(ValueError, match=r"t=4.*t=7"):
+            miner.feed(4, pair_snapshot(4))
+        with pytest.raises(ValueError, match=r"t=7.*t=7"):
+            miner.feed(7, pair_snapshot(7))
+        # The rejected feed must not have corrupted the stream: the next
+        # legal snapshot is still accepted.
+        miner.feed(8, pair_snapshot(8))
+        assert miner.last_time == 8
+
     def test_feed_after_flush_raises(self):
         miner = StreamingConvoyMiner(2, 3, 2.0)
         miner.feed(0, pair_snapshot(0))

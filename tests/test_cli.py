@@ -168,6 +168,55 @@ class TestStream:
         assert "objects=a,b" in inc_text
         assert inc_out.read_text() == base_out.read_text()
 
+    def test_incremental_reports_candidate_splicing(self, convoy_csv,
+                                                    tmp_path):
+        code, text = run_cli(
+            ["stream", str(convoy_csv), "-m", "2", "-k", "10", "-e", "2.0",
+             "--incremental"]
+        )
+        assert code == 0
+        assert "candidate tracking:" in text
+        assert "spliced" in text
+
+    def test_churn_threshold_flag(self, convoy_csv, tmp_path):
+        base_out = tmp_path / "base.csv"
+        tuned_out = tmp_path / "tuned.csv"
+        code, _ = run_cli(
+            ["stream", str(convoy_csv), "-m", "2", "-k", "10", "-e", "2.0",
+             "--output", str(base_out)]
+        )
+        assert code == 0
+        for value, out_path in (("0.9", tuned_out), ("adaptive", tuned_out)):
+            code, text = run_cli(
+                ["stream", str(convoy_csv), "-m", "2", "-k", "10",
+                 "-e", "2.0", "--incremental", "--churn-threshold", value,
+                 "--output", str(out_path)]
+            )
+            assert code == 0, text
+            assert out_path.read_text() == base_out.read_text()
+
+    def test_churn_threshold_requires_incremental(self, convoy_csv):
+        code, text = run_cli(
+            ["stream", str(convoy_csv), "-m", "2", "-k", "5", "-e", "2.0",
+             "--churn-threshold", "0.5"]
+        )
+        assert code == 2
+        assert "--incremental" in text
+
+    def test_churn_threshold_rejects_bad_values(self, convoy_csv):
+        code, text = run_cli(
+            ["stream", str(convoy_csv), "-m", "2", "-k", "5", "-e", "2.0",
+             "--incremental", "--churn-threshold", "banana"]
+        )
+        assert code == 2
+        assert "bad --churn-threshold" in text
+        code, text = run_cli(
+            ["stream", str(convoy_csv), "-m", "2", "-k", "5", "-e", "2.0",
+             "--incremental", "--churn-threshold", "1.5"]
+        )
+        assert code == 2
+        assert "bad query parameters" in text
+
     def test_requires_exactly_one_input(self, convoy_csv):
         code, _ = run_cli(["stream", "-m", "2", "-k", "5", "-e", "1.0"])
         assert code == 2
