@@ -63,9 +63,12 @@ from repro.simplification import (
     douglas_peucker_star,
 )
 from repro.streaming import (
+    ReorderBuffer,
     StreamingConvoyMiner,
     churn_stream,
+    jitter_ticks,
     mine_stream,
+    reorder_ticks,
     replay_csv,
     replay_database,
     synthetic_stream,
@@ -80,6 +83,7 @@ __all__ = [
     "DATASETS",
     "DatasetSpec",
     "IncrementalSnapshotClusterer",
+    "ReorderBuffer",
     "StreamingConvoyMiner",
     "Trajectory",
     "TrajectoryDatabase",
@@ -109,8 +113,10 @@ __all__ = [
     "is_valid_convoy",
     "load_trajectories_csv",
     "mc2",
+    "jitter_ticks",
     "mine_stream",
     "normalize_convoys",
+    "reorder_ticks",
     "replay_csv",
     "replay_database",
     "save_trajectories_csv",

@@ -30,7 +30,12 @@ from repro.core.verification import normalize_convoys
 from repro.datasets.paperlike import DATASETS
 from repro.io.csv_io import load_trajectories_csv, save_trajectories_csv
 from repro.simplification import SIMPLIFIERS, simplification_report
-from repro.streaming import StreamingConvoyMiner, replay_csv, synthetic_stream
+from repro.streaming import (
+    LATE_POLICIES,
+    StreamingConvoyMiner,
+    replay_csv,
+    synthetic_stream,
+)
 
 
 def build_parser():
@@ -85,6 +90,29 @@ def build_parser():
     )
     stream.add_argument("--seed", type=int, default=0,
                         help="synthetic stream seed (default: 0)")
+    stream.add_argument(
+        "--jitter", type=int, default=0, metavar="J",
+        help="with --synthetic: emit the stream out of order, every tick "
+        "displaced by < J time units (pair with --allowed-lateness >= J)",
+    )
+    stream.add_argument(
+        "--allowed-lateness", type=int, default=None, metavar="L",
+        help="tolerate out-of-order snapshots through a watermarked "
+        "reorder buffer: a tick is ingested once the feed has advanced L "
+        "time units past it (0 keeps strict order; omit to disable)",
+    )
+    stream.add_argument(
+        "--max-pending", type=int, default=None, metavar="N",
+        help="cap the reorder buffer at N pending snapshots (the oldest "
+        "are force-released beyond it); usable with or without "
+        "--allowed-lateness",
+    )
+    stream.add_argument(
+        "--late-policy", default="raise", choices=sorted(LATE_POLICIES),
+        help="what to do with a snapshot arriving after its timestamp was "
+        "already released: fail loudly, drop it, or amend the stale fixes "
+        "into the next pending snapshot (default: raise)",
+    )
     stream.add_argument(
         "--window", type=int, default=None,
         help="bounded-memory cap: close candidate chains after this many "
@@ -190,6 +218,12 @@ def _cmd_stream(args, out):
         print("stream needs exactly one input: a CSV path or --synthetic NxT",
               file=out)
         return 2
+    if args.jitter and args.synthetic is None:
+        print("--jitter only applies with --synthetic", file=out)
+        return 2
+    if args.jitter < 0:
+        print(f"bad --jitter value: must be >= 0, got {args.jitter}", file=out)
+        return 2
     if args.synthetic is not None:
         try:
             n_objects, n_snapshots = _parse_synthetic_shape(args.synthetic)
@@ -197,14 +231,31 @@ def _cmd_stream(args, out):
             print(f"bad --synthetic value: {exc}", file=out)
             return 2
         source = synthetic_stream(
-            n_objects, n_snapshots, seed=args.seed, eps=args.eps
+            n_objects, n_snapshots, seed=args.seed, eps=args.eps,
+            jitter=args.jitter,
         )
-        label = f"synthetic {n_objects}x{n_snapshots} (seed {args.seed})"
+        label = f"synthetic {n_objects}x{n_snapshots} (seed {args.seed}"
+        label += f", jitter {args.jitter})" if args.jitter else ")"
     else:
         source = replay_csv(args.csv)
         label = args.csv
     if args.churn_threshold is not None and not args.incremental:
         print("--churn-threshold only applies with --incremental", file=out)
+        return 2
+    reorder = None
+    if args.allowed_lateness is not None or args.max_pending is not None:
+        reorder = dict(
+            allowed_lateness=args.allowed_lateness,
+            max_pending=args.max_pending,
+            late_policy=args.late_policy,
+        )
+    elif args.late_policy != "raise":
+        print("--late-policy only applies with --allowed-lateness or "
+              "--max-pending", file=out)
+        return 2
+    elif args.jitter:
+        print("--jitter needs a reorder buffer: pass --allowed-lateness "
+              f">= {args.jitter} (or --max-pending)", file=out)
         return 2
     try:
         clusterer = None
@@ -229,20 +280,28 @@ def _cmd_stream(args, out):
         miner = StreamingConvoyMiner(
             args.m, args.k, args.eps,
             paper_semantics=args.paper_semantics, window=args.window,
-            clusterer=clusterer,
+            clusterer=clusterer, reorder=reorder,
         )
     except ValueError as exc:
         print(f"bad query parameters: {exc}", file=out)
         return 2
     convoys = []
     started = time.perf_counter()
-    for t, snapshot in source:
-        for convoy in miner.feed(t, snapshot):
-            convoys.append(convoy)
-            if not args.quiet:
-                members = ",".join(str(o) for o in sorted(convoy.objects, key=str))
-                print(f"  closed at t={t}: t=[{convoy.t_start},"
-                      f"{convoy.t_end}] objects={members}", file=out)
+    try:
+        for t, snapshot in source:
+            for convoy in miner.feed(t, snapshot):
+                convoys.append(convoy)
+                if not args.quiet:
+                    members = ",".join(
+                        str(o) for o in sorted(convoy.objects, key=str)
+                    )
+                    print(f"  closed at t={t}: t=[{convoy.t_start},"
+                          f"{convoy.t_end}] objects={members}", file=out)
+    except ValueError as exc:
+        # A late snapshot under --late-policy raise (or a disordered feed
+        # with no reorder buffer at all) is an input contract violation.
+        print(f"stream error: {exc}", file=out)
+        return 1
     for convoy in miner.flush():
         convoys.append(convoy)
         if not args.quiet:
@@ -263,6 +322,16 @@ def _cmd_stream(args, out):
         f"m={args.m}, k={args.k}, e={args.eps:g})",
         file=out,
     )
+    if miner.reorder is not None:
+        ro = miner.reorder.counters
+        print(
+            f"reorder buffer: {ro['reordered_snapshots']} snapshot(s) "
+            f"reordered, {ro['merged_snapshots']} merged, "
+            f"{ro['late_dropped']} late dropped, "
+            f"{ro['late_amended']} amended, peak "
+            f"{ro['peak_pending']} pending",
+            file=out,
+        )
     if miner.clusterer is not None:
         inc = miner.clusterer.counters
         print(

@@ -11,21 +11,31 @@ implementation of the chaining semantics.
 * :func:`~repro.streaming.engine.mine_stream` — drive a miner over a
   snapshot source and collect the answer;
 * :mod:`~repro.streaming.source` — snapshot sources: database replay, CSV
-  replay, and a seeded synthetic generator for scale runs.
+  replay, and seeded synthetic generators for scale runs (with optional
+  bounded ``jitter=`` to emulate shuffled GPS feeds);
+* :mod:`~repro.streaming.reorder` — the watermarked
+  :class:`~repro.streaming.reorder.ReorderBuffer` that restores time
+  order in front of ``feed`` (``StreamingConvoyMiner(reorder=...)``).
 """
 
 from repro.streaming.engine import StreamingConvoyMiner, mine_stream
+from repro.streaming.reorder import LATE_POLICIES, ReorderBuffer, reorder_ticks
 from repro.streaming.source import (
     churn_stream,
+    jitter_ticks,
     replay_csv,
     replay_database,
     synthetic_stream,
 )
 
 __all__ = [
+    "LATE_POLICIES",
+    "ReorderBuffer",
     "StreamingConvoyMiner",
     "churn_stream",
+    "jitter_ticks",
     "mine_stream",
+    "reorder_ticks",
     "replay_csv",
     "replay_database",
     "synthetic_stream",

@@ -34,6 +34,12 @@ place with two drivers: the batch sweep over a materialized
 :class:`~repro.trajectory.TrajectoryDatabase`, and the push-based streaming
 path fed by the adapters in :mod:`repro.streaming.source`.
 
+Snapshots normally must arrive in strictly increasing time order; a
+``reorder=`` buffer (:mod:`repro.streaming.reorder`) relaxes that to
+bounded out-of-order tolerance — arrivals are held behind a watermark,
+merged on duplicate timestamps, and ingested in restored order, with the
+configured policy deciding what happens to hopelessly late data.
+
 Memory: with ``window=None`` the engine holds the live candidate chains,
 whose per-step history grows with chain age — exact, but unbounded on an
 infinite stream with an eternal convoy.  A ``window`` caps every chain at
@@ -48,6 +54,7 @@ from __future__ import annotations
 from repro.clustering.dbscan import dbscan
 from repro.clustering.incremental import IncrementalSnapshotClusterer
 from repro.core.candidates import CandidateTracker
+from repro.streaming.reorder import ReorderBuffer
 
 #: Counter keys a miner maintains in its ``counters`` dict.
 COUNTER_KEYS = (
@@ -89,6 +96,17 @@ class StreamingConvoyMiner:
             :meth:`~repro.core.candidates.CandidateTracker.advance_delta`
             step.  The chosen strategy is introspectable as
             :attr:`clusterer` (``None`` for the full pass).
+        reorder: optional out-of-order tolerance in front of ``feed``.  A
+            :class:`~repro.streaming.reorder.ReorderBuffer` instance, or
+            a dict of its keyword arguments (``allowed_lateness``,
+            ``max_pending``, ``late_policy``) from which one is built
+            sharing this miner's counters dict.  ``feed`` then accepts
+            shuffled timestamps within the buffer's watermark: each call
+            pushes the arrival into the buffer and ingests whatever the
+            watermark released (possibly nothing, possibly several
+            snapshots), and ``flush`` drains the buffer before closing
+            chains.  The chosen buffer is introspectable as
+            :attr:`reorder` (``None`` for the strict in-order contract).
 
     Usage::
 
@@ -98,14 +116,15 @@ class StreamingConvoyMiner:
                 handle(convoy)                # emitted as soon as it closes
         tail = miner.flush()                  # convoys still open at the end
 
-    Snapshots must arrive in strictly increasing time order.  A skipped
+    Snapshots must arrive in strictly increasing time order (a
+    ``reorder=`` buffer relaxes this to bounded tolerance).  A skipped
     time point is a point where no object reported — per Definition 3's "k
     *consecutive* time points" no chain may bridge it, so a gap closes every
     live chain (emitting the qualifying ones at the next ``feed``).
     """
 
     def __init__(self, m, k, eps, paper_semantics=False, window=None,
-                 counters=None, clusterer=None):
+                 counters=None, clusterer=None, reorder=None):
         if eps <= 0:
             raise ValueError(f"eps must be positive, got {eps}")
         if window is not None and window < k:
@@ -113,6 +132,17 @@ class StreamingConvoyMiner:
         self.counters = counters if counters is not None else {}
         for key in COUNTER_KEYS:
             self.counters.setdefault(key, 0)
+        if reorder is None:
+            self.reorder = None
+        elif isinstance(reorder, ReorderBuffer):
+            self.reorder = reorder
+        elif isinstance(reorder, dict):
+            self.reorder = ReorderBuffer(counters=self.counters, **reorder)
+        else:
+            raise ValueError(
+                "reorder must be None, a ReorderBuffer, or a dict of "
+                f"ReorderBuffer keyword arguments, got {reorder!r}"
+            )
         # CandidateTracker validates m and k, and adds its own counter
         # keys (splice/re-intersection totals) to the shared dict.
         self._tracker = CandidateTracker(
@@ -155,7 +185,12 @@ class StreamingConvoyMiner:
         """Ingest the snapshot at time ``t``; return the convoys it closed.
 
         Args:
-            t: integer time point, strictly greater than the previous one.
+            t: integer time point, strictly greater than the previous one —
+                unless the miner was built with ``reorder=...``, in which
+                case any timestamp the buffer's watermark and late policy
+                accept is legal, and this call ingests whatever the buffer
+                released (so the returned convoys may belong to earlier
+                pushes, or the call may buffer silently and return none).
             snapshot: mapping ``{object_id: (x, y)}`` of every object that
                 reported at ``t``.  May be empty (which ends every chain).
 
@@ -165,7 +200,15 @@ class StreamingConvoyMiner:
         """
         if self._flushed:
             raise RuntimeError("stream already flushed; create a new miner")
-        t = int(t)
+        if self.reorder is not None:
+            closed = []
+            for released_t, released_snapshot in self.reorder.push(t, snapshot):
+                closed.extend(self._ingest(released_t, released_snapshot))
+            return closed
+        return self._ingest(int(t), snapshot)
+
+    def _ingest(self, t, snapshot):
+        """The in-order ingestion step behind :meth:`feed`."""
         if self._last_t is not None and t <= self._last_t:
             raise ValueError(
                 f"snapshots must arrive in strictly increasing time order: "
@@ -212,28 +255,38 @@ class StreamingConvoyMiner:
         Chains alive at the final snapshot are real convoys when they
         already span >= k points — Algorithm 1 reproductions classically
         drop them because the pseudocode only reports on failed extension.
+        With ``reorder=...`` the buffer is drained first — its pending
+        snapshots are ingested in time order, so convoys they close (or
+        extend to qualification) are part of the returned tail.
         After ``flush`` the miner is finished; further ``feed`` calls raise.
         Calling ``flush`` again returns an empty list.
         """
         if self._flushed:
             return []
+        drained = []
+        if self.reorder is not None:
+            for released_t, released_snapshot in self.reorder.drain():
+                drained.extend(self._ingest(released_t, released_snapshot))
         self._flushed = True
         closed = self._tracker.flush()
         self.counters["convoys_emitted"] += len(closed)
-        return [record.as_convoy() for record in closed]
+        return drained + [record.as_convoy() for record in closed]
 
 
 def mine_stream(source, m, k, eps, paper_semantics=False, window=None,
-                counters=None, clusterer=None):
+                counters=None, clusterer=None, reorder=None):
     """Drive a :class:`StreamingConvoyMiner` over a snapshot source.
 
     Args:
         source: iterable of ``(t, {object_id: (x, y)})`` ticks in strictly
             increasing time order — any adapter from
-            :mod:`repro.streaming.source`, or a plain generator.
+            :mod:`repro.streaming.source`, or a plain generator.  With
+            ``reorder=`` the order requirement relaxes to whatever the
+            buffer's watermark and late policy accept (e.g. the jittered
+            feeds of ``synthetic_stream(..., jitter=)``).
         m, k, eps: the convoy-query parameters.
-        paper_semantics, window, counters, clusterer: forwarded to the
-            miner.
+        paper_semantics, window, counters, clusterer, reorder: forwarded
+            to the miner.
 
     Returns:
         List of :class:`~repro.core.convoy.Convoy` in discovery order,
@@ -241,7 +294,7 @@ def mine_stream(source, m, k, eps, paper_semantics=False, window=None,
     """
     miner = StreamingConvoyMiner(
         m, k, eps, paper_semantics=paper_semantics, window=window,
-        counters=counters, clusterer=clusterer,
+        counters=counters, clusterer=clusterer, reorder=reorder,
     )
     convoys = []
     for t, snapshot in source:

@@ -19,6 +19,13 @@ adapters cover the workloads:
   tick, the rest stand perfectly still.  This is the GPS-fleet regime the
   incremental clusterer targets, and the workload knob of
   ``benchmarks/bench_incremental_clustering.py``.
+
+Both generators additionally accept ``jitter=``: a seeded bounded shuffle
+(:func:`jitter_ticks`) that emits the same ticks realistically out of
+order — every tick lags the emitted maximum by strictly less than
+``jitter`` time units — which is exactly the disorder a
+:class:`~repro.streaming.reorder.ReorderBuffer` with
+``allowed_lateness >= jitter`` restores losslessly.
 """
 
 from __future__ import annotations
@@ -79,6 +86,59 @@ def replay_csv(path, time_range=None):
     yield from replay_database(load_trajectories_csv(path), time_range)
 
 
+def jitter_ticks(ticks, jitter, seed=0):
+    """Shuffle a tick stream within a bounded event-time displacement.
+
+    Emits exactly the ticks of ``ticks`` (same ``(t, snapshot)`` pairs),
+    but out of order: each arrival is held in a small pool from which a
+    random element is emitted, except that a pending tick is force-emitted
+    (oldest first) before any tick ``jitter`` or more time units newer
+    enters the pool.  The guarantee that makes the shuffle *recoverable*:
+    when a tick at time ``u`` is emitted, every previously emitted tick's
+    time is below ``u + jitter`` — so lateness relative to the emitted
+    maximum stays strictly below ``jitter``, and a
+    :class:`~repro.streaming.reorder.ReorderBuffer` with
+    ``allowed_lateness >= jitter`` restores the original order with no
+    late arrivals.  ``jitter=0`` yields the stream unchanged.
+
+    The shuffle is a pure function of ``(ticks, jitter, seed)``; its RNG
+    is independent of the RNG that generated the ticks themselves, so
+    ``synthetic_stream(..., jitter=j)`` emits exactly the snapshots of
+    the unjittered stream, permuted.
+
+    Args:
+        ticks: iterable of ``(t, snapshot)`` in increasing time order.
+        jitter: maximum displacement in time units (``>= 0``).
+        seed: RNG seed for the shuffle.
+
+    Yields:
+        The same ``(t, snapshot)`` ticks, reordered within the bound.
+    """
+    if jitter < 0:
+        raise ValueError(f"jitter must be >= 0, got {jitter}")
+    if jitter == 0:
+        yield from ticks
+        return
+    rng = random.Random(seed)
+    pending = []  # (t, snapshot); event-time spread stays below `jitter`
+    for t, snapshot in ticks:
+        # Anything `jitter` or more behind the new arrival leaves first
+        # (oldest first), so nothing newer is ever emitted ahead of it;
+        # the pool's time spread therefore stays strictly below `jitter`.
+        pending.sort(key=lambda entry: entry[0])
+        while pending and t - pending[0][0] >= jitter:
+            yield pending.pop(0)
+        pending.append((t, snapshot))
+        # A coin-flip run of random emissions keeps the pool small while
+        # leaving the emission order genuinely shuffled.
+        while len(pending) > 1 and rng.random() < 0.5:
+            yield pending.pop(rng.randrange(len(pending)))
+    # The tail's spread is below `jitter` too, so a fully random drain
+    # still respects the lateness bound.
+    while pending:
+        yield pending.pop(rng.randrange(len(pending)))
+
+
 class _Walker:
     """Incremental random-waypoint state: one position, one target."""
 
@@ -108,7 +168,7 @@ class _Walker:
 
 def synthetic_stream(n_objects, n_snapshots, seed=0, *, eps=10.0,
                      group_count=4, group_size=5, area=None, speed=None,
-                     t_start=0):
+                     t_start=0, jitter=0, jitter_seed=None):
     """Generate a seeded snapshot stream with planted co-travelling groups.
 
     The first ``group_count * group_size`` objects are partitioned into
@@ -132,6 +192,13 @@ def synthetic_stream(n_objects, n_snapshots, seed=0, *, eps=10.0,
         area: world side length (default ``40 * eps``).
         speed: movement per tick (default ``eps / 2``).
         t_start: time of the first snapshot.
+        jitter: emit the ticks out of order through :func:`jitter_ticks`
+            with this displacement bound (0, the default, keeps strict
+            time order; the snapshots themselves are identical either
+            way).
+        jitter_seed: seed of the shuffle RNG (defaults to ``seed``; kept
+            separate so the same trajectory data can be replayed under
+            many different arrival orders).
 
     Yields:
         ``(t, {object_id: (x, y)})`` with ids ``"o0" .. "o{n-1}"``.
@@ -144,6 +211,17 @@ def synthetic_stream(n_objects, n_snapshots, seed=0, *, eps=10.0,
         raise ValueError(f"group_count must be >= 0, got {group_count}")
     if group_size < 1:
         raise ValueError(f"group_size must be >= 1, got {group_size}")
+    if jitter:
+        yield from jitter_ticks(
+            synthetic_stream(
+                n_objects, n_snapshots, seed, eps=eps,
+                group_count=group_count, group_size=group_size, area=area,
+                speed=speed, t_start=t_start,
+            ),
+            jitter,
+            seed=jitter_seed if jitter_seed is not None else seed,
+        )
+        return
     rng = random.Random(seed)
     if area is None:
         area = 40.0 * eps
@@ -182,7 +260,8 @@ def synthetic_stream(n_objects, n_snapshots, seed=0, *, eps=10.0,
 
 
 def churn_stream(n_objects, n_snapshots, seed=0, *, eps=10.0, churn=0.1,
-                 turnover=0.0, area=None, max_hop=None, t_start=0):
+                 turnover=0.0, area=None, max_hop=None, t_start=0,
+                 jitter=0, jitter_seed=None):
     """Generate a seeded snapshot stream with a controllable churn rate.
 
     Unlike :func:`synthetic_stream` (where *every* object advances every
@@ -209,6 +288,11 @@ def churn_stream(n_objects, n_snapshots, seed=0, *, eps=10.0, churn=0.1,
         area: world side length (default ``40 * eps``).
         max_hop: largest per-tick hop (default ``3 * eps``).
         t_start: time of the first snapshot.
+        jitter: emit the ticks out of order through :func:`jitter_ticks`
+            with this displacement bound (0, the default, keeps strict
+            time order; the snapshots themselves are identical either
+            way).
+        jitter_seed: seed of the shuffle RNG (defaults to ``seed``).
 
     Yields:
         ``(t, {object_id: (x, y)})`` with ids ``"c0", "c1", ...``.
@@ -221,6 +305,17 @@ def churn_stream(n_objects, n_snapshots, seed=0, *, eps=10.0, churn=0.1,
         raise ValueError(f"churn must be in [0, 1], got {churn}")
     if not 0.0 <= turnover <= 1.0:
         raise ValueError(f"turnover must be in [0, 1], got {turnover}")
+    if jitter:
+        yield from jitter_ticks(
+            churn_stream(
+                n_objects, n_snapshots, seed, eps=eps, churn=churn,
+                turnover=turnover, area=area, max_hop=max_hop,
+                t_start=t_start,
+            ),
+            jitter,
+            seed=jitter_seed if jitter_seed is not None else seed,
+        )
+        return
     rng = random.Random(seed)
     if area is None:
         area = 40.0 * eps

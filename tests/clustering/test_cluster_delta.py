@@ -12,6 +12,8 @@ ids are never reused.
 import random
 
 import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
 
 from repro.clustering.dbscan import dbscan
 from repro.clustering.incremental import (
@@ -229,3 +231,97 @@ class TestAdaptiveChurnThreshold:
             IncrementalSnapshotClusterer(1.0, 2, churn_threshold=1.5)
         with pytest.raises(ValueError, match="adaptive"):
             IncrementalSnapshotClusterer(1.0, 2, churn_threshold="fast")
+
+
+class TestAdaptiveChurnThresholdProperties:
+    """Edge-case properties: no observation sequence may crash the fit
+    (division by zero) or drive the threshold outside its clamp, and
+    degenerate streams must leave the policy stable, not oscillating."""
+
+    @given(
+        observations=st.lists(
+            st.tuples(
+                st.booleans(),                       # full pass?
+                st.integers(min_value=0, max_value=2000),   # churned
+                st.integers(min_value=0, max_value=2000),   # n_points
+                st.floats(min_value=0.0, max_value=10.0,
+                          allow_nan=False, allow_infinity=False),
+            ),
+            max_size=60,
+        )
+    )
+    @settings(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_any_observation_sequence_keeps_threshold_clamped(
+        self, observations
+    ):
+        policy = AdaptiveChurnThreshold(floor=0.05, ceiling=0.9)
+        for is_full, churned, n_points, seconds in observations:
+            if is_full:
+                policy.observe_full(n_points, seconds)
+            else:
+                policy.observe_delta(churned, n_points, seconds)
+            assert 0.05 <= policy.threshold <= 0.9
+
+    def test_zero_observed_samples(self):
+        """A policy that never observes anything keeps its initial
+        threshold; asking for it must not divide by zero."""
+        policy = AdaptiveChurnThreshold(initial=0.42)
+        for _ in range(3):
+            assert policy.threshold == 0.42
+
+    def test_all_equal_pass_costs_hold_the_threshold_steady(self):
+        """Identical costs at one churn level make the slope
+        unidentifiable (zero churn spread): the threshold must neither
+        crash nor drift, however many samples arrive."""
+        policy = AdaptiveChurnThreshold(initial=0.35)
+        for _ in range(50):
+            policy.observe_full(1000, 0.1)
+            policy.observe_delta(200, 1000, 0.05)
+        assert policy.threshold == 0.35
+
+    def test_single_tick_stream_with_adaptive_policy(self):
+        """One snapshot, then silence: the first (full) pass is the only
+        observation and the policy must stay at its initial value."""
+        clusterer = IncrementalSnapshotClusterer(
+            5.0, 2, churn_threshold="adaptive"
+        )
+        snapshot = {"a": (0.0, 0.0), "b": (1.0, 0.0), "c": (40.0, 40.0)}
+        assert clusterer.cluster(snapshot) == dbscan(snapshot, 5.0, 2)
+        assert clusterer.churn_threshold == pytest.approx(0.35)
+
+    def test_consistent_costs_do_not_oscillate(self):
+        """Once the fit has converged on self-consistent affine costs,
+        further identical observations must not move the threshold — the
+        EWMA settles instead of ringing."""
+        policy = AdaptiveChurnThreshold(initial=0.9, alpha=0.5)
+        def one_round():
+            policy.observe_full(1000, 0.1)           # phi = 1e-4
+            policy.observe_delta(100, 1000, 0.05)    # u(0.1) = 5e-5
+            policy.observe_delta(300, 1000, 0.09)    # u(0.3) = 9e-5
+        for _ in range(5):
+            one_round()
+        settled = [policy.threshold]
+        for _ in range(20):
+            one_round()
+            settled.append(policy.threshold)
+        assert max(settled) - min(settled) < 1e-9
+        assert settled[0] == pytest.approx(0.35)
+
+    @given(seed=st.integers(min_value=0, max_value=10**6))
+    @settings(deadline=None, max_examples=15)
+    def test_adaptive_clusterer_still_exact_under_any_seed(self, seed):
+        """Whatever thresholds the measured costs produce, the clustering
+        itself must remain exactly dbscan's."""
+        rng = random.Random(seed)
+        clusterer = IncrementalSnapshotClusterer(
+            4.0, 2, churn_threshold="adaptive"
+        )
+        positions = {
+            f"p{i}": (rng.uniform(0, 25), rng.uniform(0, 25))
+            for i in range(20)
+        }
+        for _tick in range(6):
+            for obj in rng.sample(sorted(positions), rng.randint(0, 6)):
+                positions[obj] = (rng.uniform(0, 25), rng.uniform(0, 25))
+            snapshot = dict(positions)
+            assert clusterer.cluster(snapshot) == dbscan(snapshot, 4.0, 2)

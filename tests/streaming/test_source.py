@@ -185,3 +185,49 @@ class TestChurnStream:
             list(churn_stream(5, 5, eps=10.0, max_hop=1.0))
         with pytest.raises(ValueError):
             list(churn_stream(5, 5, eps=10.0, area=5.0))  # hops can't fit
+
+
+class TestJitteredSources:
+    """The ``jitter=`` variants of both generators: same snapshots, a
+    bounded, seeded shuffle of their arrival order."""
+
+    @pytest.mark.parametrize("make", [synthetic_stream, churn_stream])
+    def test_same_ticks_as_the_unjittered_stream(self, make):
+        base = list(make(25, 30, seed=7, eps=8.0))
+        jittered = list(make(25, 30, seed=7, eps=8.0, jitter=4))
+        assert jittered != base
+        assert sorted(jittered, key=lambda tick: tick[0]) == base
+
+    @pytest.mark.parametrize("make", [synthetic_stream, churn_stream])
+    def test_lateness_stays_below_jitter(self, make):
+        jitter = 5
+        max_seen = None
+        for t, _snapshot in make(20, 50, seed=3, eps=8.0, jitter=jitter):
+            if max_seen is not None:
+                assert max_seen - t < jitter
+                max_seen = max(max_seen, t)
+            else:
+                max_seen = t
+
+    @pytest.mark.parametrize("make", [synthetic_stream, churn_stream])
+    def test_jitter_seed_controls_only_the_order(self, make):
+        a = list(make(15, 25, seed=9, eps=8.0, jitter=4, jitter_seed=1))
+        b = list(make(15, 25, seed=9, eps=8.0, jitter=4, jitter_seed=2))
+        assert a != b
+        assert (sorted(a, key=lambda tick: tick[0])
+                == sorted(b, key=lambda tick: tick[0]))
+
+    @pytest.mark.parametrize("make", [synthetic_stream, churn_stream])
+    def test_jitter_is_deterministic(self, make):
+        assert (list(make(15, 25, seed=9, eps=8.0, jitter=4))
+                == list(make(15, 25, seed=9, eps=8.0, jitter=4)))
+
+    @pytest.mark.parametrize("make", [synthetic_stream, churn_stream])
+    def test_zero_jitter_is_the_default_order(self, make):
+        assert (list(make(15, 25, seed=9, eps=8.0, jitter=0))
+                == list(make(15, 25, seed=9, eps=8.0)))
+
+    @pytest.mark.parametrize("make", [synthetic_stream, churn_stream])
+    def test_negative_jitter_rejected(self, make):
+        with pytest.raises(ValueError, match="jitter"):
+            list(make(15, 25, seed=9, eps=8.0, jitter=-1))

@@ -1,7 +1,9 @@
-"""Tests for the bench harness (timers and report formatting)."""
+"""Tests for the bench harness (timers, report formatting, bench JSON)."""
 
+import json
 import time
 
+from benchmarks.common import write_bench_json
 from repro.bench import PhaseTimer, format_series, format_table, time_call
 
 
@@ -63,3 +65,69 @@ class TestFormatting:
         assert "Fig" in text
         assert "x" in text.splitlines()[2]
         assert "30" in text
+
+
+class TestWriteBenchJson:
+    """Schema guard for the BENCH_*.json perf-trajectory artifacts.
+
+    CI uploads every bench's ``--json`` output per commit; downstream
+    consumers chart rates and speedups across commits keyed by these
+    fields, so a silent rename here would sever the trajectory."""
+
+    def write(self, tmp_path, **overrides):
+        kwargs = dict(
+            bench="reorder_ingestion",
+            params={"m": 3, "k": 10, "eps": 10.0, "smoke": True},
+            rows=[
+                {"lateness": 2, "delta_rate": 100.5, "peak_pending": 3},
+                {"lateness": 8, "delta_rate": 99.0, "peak_pending": 9},
+            ],
+        )
+        kwargs.update(overrides)
+        path = tmp_path / "BENCH_test.json"
+        payload = write_bench_json(path, kwargs["bench"], kwargs["params"],
+                                   kwargs["rows"])
+        return path, payload
+
+    def test_top_level_schema(self, tmp_path):
+        path, _payload = self.write(tmp_path)
+        with open(path) as handle:
+            loaded = json.load(handle)
+        # Exactly the keys the CI trajectory consumers rely on.
+        assert set(loaded) == {"bench", "git_sha", "params", "rows"}
+        assert loaded["bench"] == "reorder_ingestion"
+        assert isinstance(loaded["git_sha"], str) and loaded["git_sha"]
+        assert loaded["params"]["m"] == 3
+        assert [row["lateness"] for row in loaded["rows"]] == [2, 8]
+
+    def test_git_sha_is_resolvable_or_unknown(self, tmp_path):
+        path, _payload = self.write(tmp_path)
+        with open(path) as handle:
+            sha = json.load(handle)["git_sha"]
+        assert sha == "unknown" or (
+            len(sha) == 40 and all(c in "0123456789abcdef" for c in sha)
+        )
+
+    def test_returned_payload_matches_file(self, tmp_path):
+        path, payload = self.write(tmp_path)
+        with open(path) as handle:
+            assert json.load(handle) == payload
+
+    def test_rows_and_params_are_copies(self, tmp_path):
+        """The writer must snapshot its inputs: callers mutating their
+        row dicts after writing must not alter the returned payload."""
+        params = {"m": 3}
+        rows = [{"rate": 1.0}]
+        _path, payload = self.write(tmp_path, params=params, rows=rows)
+        params["m"] = 99
+        rows[0]["rate"] = -1.0
+        assert payload["params"]["m"] == 3
+        assert payload["rows"][0]["rate"] == 1.0
+
+    def test_file_ends_with_newline_and_sorted_keys(self, tmp_path):
+        path, _payload = self.write(tmp_path)
+        text = path.read_text()
+        assert text.endswith("\n")
+        # sort_keys=True makes diffs between artifact versions stable.
+        assert text.index('"bench"') < text.index('"git_sha"')
+        assert text.index('"git_sha"') < text.index('"params"')

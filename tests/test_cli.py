@@ -250,6 +250,114 @@ class TestStream:
         assert code == 0
         assert "closed at t=" in text  # fragments close mid-stream
 
+    def test_jittered_synthetic_with_lateness_matches_in_order(self,
+                                                               tmp_path):
+        in_order = tmp_path / "in_order.csv"
+        reordered = tmp_path / "reordered.csv"
+        code, _ = run_cli(
+            ["stream", "--synthetic", "40x25", "--seed", "3", "-m", "3",
+             "-k", "5", "-e", "10.0", "--quiet", "--output", str(in_order)]
+        )
+        assert code == 0
+        code, text = run_cli(
+            ["stream", "--synthetic", "40x25", "--seed", "3", "-m", "3",
+             "-k", "5", "-e", "10.0", "--quiet", "--jitter", "4",
+             "--allowed-lateness", "4", "--output", str(reordered)]
+        )
+        assert code == 0, text
+        assert "reorder buffer:" in text
+        assert "jitter 4" in text
+        assert reordered.read_text() == in_order.read_text()
+
+    def test_allowed_lateness_reports_buffer_stats(self, convoy_csv):
+        code, text = run_cli(
+            ["stream", str(convoy_csv), "-m", "2", "-k", "10", "-e", "2.0",
+             "--allowed-lateness", "2", "--quiet"]
+        )
+        assert code == 0
+        assert "reorder buffer:" in text
+        assert "late dropped" in text
+
+    def test_max_pending_alone_enables_the_buffer(self, convoy_csv):
+        code, text = run_cli(
+            ["stream", str(convoy_csv), "-m", "2", "-k", "10", "-e", "2.0",
+             "--max-pending", "4", "--quiet"]
+        )
+        assert code == 0
+        assert "reorder buffer:" in text
+
+    def test_jitter_requires_synthetic(self, convoy_csv):
+        code, text = run_cli(
+            ["stream", str(convoy_csv), "-m", "2", "-k", "5", "-e", "2.0",
+             "--jitter", "3"]
+        )
+        assert code == 2
+        assert "--synthetic" in text
+
+    def test_jitter_requires_a_reorder_buffer(self):
+        code, text = run_cli(
+            ["stream", "--synthetic", "20x10", "-m", "3", "-k", "5",
+             "-e", "10.0", "--jitter", "3"]
+        )
+        assert code == 2
+        assert "--allowed-lateness" in text
+
+    def test_late_policy_requires_a_reorder_buffer(self, convoy_csv):
+        code, text = run_cli(
+            ["stream", str(convoy_csv), "-m", "2", "-k", "5", "-e", "2.0",
+             "--late-policy", "drop"]
+        )
+        assert code == 2
+        assert "--allowed-lateness" in text
+
+    def test_late_policy_drop_reports_dropped_count(self):
+        # Jitter 5 against lateness 1 guarantees genuinely late arrivals.
+        code, text = run_cli(
+            ["stream", "--synthetic", "40x25", "--seed", "5", "-m", "3",
+             "-k", "5", "-e", "10.0", "--quiet", "--jitter", "5",
+             "--allowed-lateness", "1", "--late-policy", "drop"]
+        )
+        assert code == 0
+        assert "reorder buffer:" in text
+        assert " late dropped" in text
+        dropped = int(text.split(" late dropped")[0].rsplit(", ", 1)[-1])
+        assert dropped > 0
+
+    def test_late_raise_is_reported_as_stream_error(self):
+        code, text = run_cli(
+            ["stream", "--synthetic", "40x25", "--seed", "5", "-m", "3",
+             "-k", "5", "-e", "10.0", "--quiet", "--jitter", "5",
+             "--allowed-lateness", "1"]
+        )
+        assert code == 1
+        assert "stream error:" in text
+        assert "late snapshot" in text
+
+    def test_rejects_negative_jitter(self):
+        code, text = run_cli(
+            ["stream", "--synthetic", "20x10", "-m", "3", "-k", "5",
+             "-e", "10.0", "--jitter", "-2", "--allowed-lateness", "2"]
+        )
+        assert code == 2
+        assert "bad --jitter" in text
+
+    def test_rejects_bad_reorder_parameters(self):
+        code, text = run_cli(
+            ["stream", "--synthetic", "20x10", "-m", "3", "-k", "5",
+             "-e", "10.0", "--allowed-lateness", "-1"]
+        )
+        assert code == 2
+        assert "bad query parameters" in text
+
+    def test_rejects_amend_with_max_pending_only(self, convoy_csv):
+        code, text = run_cli(
+            ["stream", str(convoy_csv), "-m", "2", "-k", "5", "-e", "2.0",
+             "--max-pending", "10", "--late-policy", "amend"]
+        )
+        assert code == 2
+        assert "bad query parameters" in text
+        assert "allowed_lateness" in text
+
 
 class TestStats:
     def test_table3_style_output(self, convoy_csv):
