@@ -1,0 +1,249 @@
+"""Sharded candidate tracking — scaling curve at 1/2/4 shards by executor.
+
+The staged pipeline makes the candidate tracker swappable, and the
+sharding layer fans its per-tick matching work across executor backends;
+this bench answers the two questions that decide whether that layer may
+exist at all:
+
+* **Zero-overhead refactor** — the sharded tracker on the *serial*
+  executor must hold within 10% of the unsharded engine (``SERIAL_BAR``),
+  at 1 shard (pure layer cost) and as shards grow (routing cost).
+* **Real scaling** — the *process* executor must show a measurable
+  multi-core speedup on a tracker-bound workload (``PROCESS_BAR``,
+  asserted only when the machine actually has >1 core; single-core
+  hosts still record the rows so the JSON trajectory shows the
+  overhead honestly).
+
+The workload is deliberately tracker-bound: a ``synthetic_stream`` with
+many planted co-travelling groups is clustered **once** up front, and a
+replaying clusterer feeds the precomputed per-tick cluster lists to
+every engine, so the measured per-tick cost is almost entirely the
+candidate step (hundreds of clusters joined against >1000 live
+candidates).  ``--hotspots H`` swaps in a ``churn_stream(hotspots=H)``
+workload instead — movement confined to H seeded spatial hotspots — to
+chart the unbalanced-shard regime (``max_shard_batch`` exposes the
+skew).
+
+Every configuration's per-tick emissions are asserted equal to the
+unsharded engine's on every run — the scaling numbers carry no semantic
+caveats (the exhaustive proof is ``tests/streaming/
+test_sharded_equivalence.py``).
+
+Run ``python benchmarks/bench_sharded_scaling.py`` for the table,
+``--smoke`` for a seconds-long CI-sized run (equivalence assertions
+only), and ``--json PATH`` for the machine-readable record CI uploads
+as a perf-trajectory artifact (``BENCH_sharded_scaling.json``).
+"""
+
+import argparse
+import os
+import time
+
+from benchmarks.common import print_report, write_bench_json
+from repro.bench import format_table
+from repro.clustering.dbscan import dbscan
+from repro.streaming import StreamingConvoyMiner, churn_stream, synthetic_stream
+
+M, K, EPS = 3, 8, 10.0
+
+#: (shards, executor) cells of the scaling curve, in report order.
+FULL_GRID = (
+    (1, "serial"),
+    (2, "serial"),
+    (4, "serial"),
+    (2, "thread"),
+    (4, "thread"),
+    (1, "process"),
+    (2, "process"),
+    (4, "process"),
+)
+SMOKE_GRID = (
+    (1, "serial"),
+    (2, "serial"),
+    (2, "thread"),
+    (2, "process"),
+)
+
+FULL_SCALE = dict(n_objects=1600, n_snapshots=60, group_count=200,
+                  group_size=8)
+SMOKE_SCALE = dict(n_objects=240, n_snapshots=15, group_count=40,
+                   group_size=6)
+
+#: serial-executor rate must stay within this fraction of unsharded.
+SERIAL_BAR = 0.90
+#: best process-executor speedup must clear this (multi-core hosts only).
+PROCESS_BAR = 1.10
+
+
+class ReplayClusterer:
+    """Feed precomputed per-tick cluster lists: clustering cost ~ zero,
+    so the engine's measured per-tick cost is the candidate tracker."""
+
+    def __init__(self, per_tick):
+        self._ticks = iter(per_tick)
+
+    def cluster(self, snapshot):
+        return next(self._ticks)
+
+
+def make_workload(scale, hotspots=None, seed=42):
+    """Materialize snapshots and their per-tick clusterings once."""
+    if hotspots is None:
+        ticks = synthetic_stream(
+            scale["n_objects"], scale["n_snapshots"], seed=seed, eps=EPS,
+            group_count=scale["group_count"],
+            group_size=scale["group_size"],
+            area=60.0 * EPS,
+        )
+    else:
+        ticks = churn_stream(
+            scale["n_objects"], scale["n_snapshots"], seed=seed, eps=EPS,
+            churn=0.2, area=36.0 * EPS, hotspots=hotspots,
+        )
+    snapshots = [snapshot for _t, snapshot in ticks]
+    clusters = [dbscan(snapshot, EPS, M) for snapshot in snapshots]
+    return snapshots, clusters
+
+
+def run_engine(snapshots, clusters, shards=None, executor=None):
+    """One full engine run; returns (per-tick emissions, counters, secs)."""
+    miner = StreamingConvoyMiner(
+        M, K, EPS, clusterer=ReplayClusterer(clusters), shards=shards,
+        executor=executor,
+    )
+    emitted = []
+    started = time.perf_counter()
+    for t, snapshot in enumerate(snapshots):
+        emitted.append(miner.feed(t, snapshot))
+    emitted.append(miner.flush())
+    return emitted, miner.counters, time.perf_counter() - started
+
+
+def run_grid(scale, grid, hotspots=None):
+    """Run the unsharded baseline plus every grid cell; assert per-tick
+    equivalence; return (baseline_row, rows)."""
+    snapshots, clusters = make_workload(scale, hotspots=hotspots)
+    base_emitted, base_counters, base_seconds = run_engine(
+        snapshots, clusters
+    )
+    n = len(snapshots)
+    baseline = {
+        "shards": 0,
+        "executor": "unsharded",
+        "rate": n / base_seconds,
+        "speedup_vs_unsharded": 1.0,
+        "convoys": sum(len(batch) for batch in base_emitted),
+        "peak_candidates": base_counters["peak_candidates"],
+        "sharded_candidates": 0,
+        "max_shard_batch": 0,
+        "seconds": base_seconds,
+    }
+    rows = []
+    for shards, executor in grid:
+        emitted, counters, seconds = run_engine(
+            snapshots, clusters, shards=shards, executor=executor
+        )
+        assert emitted == base_emitted, (
+            f"sharded engine diverged from unsharded at shards={shards}, "
+            f"executor={executor}"
+        )
+        rows.append({
+            "shards": shards,
+            "executor": executor,
+            "rate": n / seconds,
+            "speedup_vs_unsharded": base_seconds / seconds,
+            "convoys": sum(len(batch) for batch in emitted),
+            "peak_candidates": counters["peak_candidates"],
+            "sharded_candidates": counters["sharded_candidates"],
+            "max_shard_batch": counters["max_shard_batch"],
+            "seconds": seconds,
+        })
+    return baseline, rows
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="CI-sized run: tiny stream, reduced grid, equivalence "
+        "assertions only (timings are not meaningful)",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="also write the results as machine-readable JSON "
+        "(params, rates, speedups, git SHA)",
+    )
+    parser.add_argument(
+        "--hotspots", type=int, default=None, metavar="H",
+        help="swap in the skewed workload: churn confined to H seeded "
+        "spatial hotspots (charts unbalanced shard load)",
+    )
+    args = parser.parse_args(argv)
+    scale = SMOKE_SCALE if args.smoke else FULL_SCALE
+    grid = SMOKE_GRID if args.smoke else FULL_GRID
+    cores = os.cpu_count() or 1
+    baseline, rows = run_grid(scale, grid, hotspots=args.hotspots)
+    table_rows = [[
+        row["executor"] if row["shards"] else "(unsharded)",
+        row["shards"] or "-",
+        round(row["rate"], 1),
+        f"{row['speedup_vs_unsharded']:.2f}x",
+        row["peak_candidates"],
+        row["max_shard_batch"] or "-",
+    ] for row in [baseline] + rows]
+    workload = (
+        f"hotspot churn (H={args.hotspots})" if args.hotspots is not None
+        else "planted groups"
+    )
+    print_report(
+        format_table(
+            "Sharded candidate tracking — precomputed-cluster "
+            f"{workload} workload ({scale['n_objects']} objects, "
+            f"m={M}, k={K}, e={EPS:g}, {cores} core(s); identical "
+            "convoys asserted every tick)",
+            ["executor", "shards", "snap/s", "vs unsharded",
+             "peak cands", "max batch"],
+            table_rows,
+        )
+    )
+    if args.json:
+        write_bench_json(
+            args.json, "sharded_scaling",
+            dict(m=M, k=K, eps=EPS, smoke=args.smoke, cores=cores,
+                 hotspots=args.hotspots, **scale),
+            [baseline] + rows,
+        )
+        print(f"json results written to {args.json}")
+    if args.smoke:
+        print("smoke ok: all sharded configurations agree with the "
+              "unsharded engine on every tick")
+        return 0
+    serial_rows = [row for row in rows if row["executor"] == "serial"]
+    worst_serial = min(row["speedup_vs_unsharded"] for row in serial_rows)
+    if worst_serial < SERIAL_BAR:
+        raise SystemExit(
+            f"acceptance failure: serial-executor rate fell to "
+            f"{worst_serial:.2f}x of the unsharded engine, below the "
+            f"{SERIAL_BAR:.2f}x bar (the refactor must not tax the "
+            f"hot path)"
+        )
+    process_rows = [row for row in rows if row["executor"] == "process"]
+    best_process = max(row["speedup_vs_unsharded"] for row in process_rows)
+    if cores >= 2:
+        if best_process < PROCESS_BAR:
+            raise SystemExit(
+                f"acceptance failure: best process-executor speedup is "
+                f"{best_process:.2f}x on {cores} cores, below the "
+                f"{PROCESS_BAR:.2f}x bar"
+            )
+    else:
+        print(
+            f"note: single-core host — process-executor speedup bar "
+            f"skipped (best observed {best_process:.2f}x; run on a "
+            f"multi-core machine to chart real scaling)"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

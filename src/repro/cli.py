@@ -20,6 +20,7 @@ All subcommands print human-readable text to stdout; ``discover`` and
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
@@ -31,6 +32,7 @@ from repro.datasets.paperlike import DATASETS
 from repro.io.csv_io import load_trajectories_csv, save_trajectories_csv
 from repro.simplification import SIMPLIFIERS, simplification_report
 from repro.streaming import (
+    BACKENDS,
     LATE_POLICIES,
     StreamingConvoyMiner,
     replay_csv,
@@ -132,10 +134,26 @@ def build_parser():
         "more than this fraction of the snapshot changed (default 0.35), "
         "or 'adaptive' to estimate the crossover from measured pass costs",
     )
+    stream.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="fan the candidate tracker out across N shards (live "
+        "candidates partitioned by support-cluster id; identical convoys)",
+    )
+    stream.add_argument(
+        "--executor", default=None, choices=sorted(BACKENDS),
+        help="where the shard batches run (with --shards): inline, a "
+        "thread pool, or a process pool (default: serial)",
+    )
     stream.add_argument("--quiet", action="store_true",
                         help="suppress per-convoy lines; print the summary only")
     stream.add_argument("--output", default=None,
                         help="also write the answer as CSV to this path")
+    stream.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write the answer as machine-readable JSON (normalized "
+        "convoys plus the full counters dict, including reorder and shard "
+        "counters) to this path",
+    )
 
     stats = sub.add_parser("stats", help="print dataset statistics")
     stats.add_argument("csv", help="input file with object_id,t,x,y rows")
@@ -242,6 +260,9 @@ def _cmd_stream(args, out):
     if args.churn_threshold is not None and not args.incremental:
         print("--churn-threshold only applies with --incremental", file=out)
         return 2
+    if args.executor is not None and args.shards is None:
+        print("--executor only applies with --shards", file=out)
+        return 2
     reorder = None
     if args.allowed_lateness is not None or args.max_pending is not None:
         reorder = dict(
@@ -280,7 +301,8 @@ def _cmd_stream(args, out):
         miner = StreamingConvoyMiner(
             args.m, args.k, args.eps,
             paper_semantics=args.paper_semantics, window=args.window,
-            clusterer=clusterer, reorder=reorder,
+            clusterer=clusterer, reorder=reorder, shards=args.shards,
+            executor=args.executor,
         )
     except ValueError as exc:
         print(f"bad query parameters: {exc}", file=out)
@@ -332,6 +354,15 @@ def _cmd_stream(args, out):
             f"{ro['peak_pending']} pending",
             file=out,
         )
+    if miner.shards is not None:
+        print(
+            f"sharding: {counters['sharded_candidates']} candidate scan(s) "
+            f"across {miner.shards} shard(s) on the "
+            f"{args.executor or 'serial'} executor in "
+            f"{counters['shard_steps']} sharded step(s), largest batch "
+            f"{counters['max_shard_batch']}",
+            file=out,
+        )
     if miner.clusterer is not None:
         inc = miner.clusterer.counters
         print(
@@ -350,12 +381,53 @@ def _cmd_stream(args, out):
                 f"{counters['delta_steps']} diff-aware step(s)",
                 file=out,
             )
-    if args.output:
-        # Same normalization as ``discover`` so the two subcommands'
-        # artifacts are directly comparable.
-        _write_answer_csv(normalize_convoys(convoys), args.output)
-        print(f"answer written to {args.output}", file=out)
+    if args.output or args.json:
+        # Same normalization as ``discover`` so the artifacts of the two
+        # subcommands (and of the CSV/JSON pair) are directly comparable.
+        normalized = normalize_convoys(convoys)
+        if args.output:
+            _write_answer_csv(normalized, args.output)
+            print(f"answer written to {args.output}", file=out)
+        if args.json:
+            _write_answer_json(args, normalized, miner, elapsed)
+            print(f"json answer written to {args.json}", file=out)
     return 0
+
+
+def _write_answer_json(args, convoys, miner, elapsed):
+    """Write the stream answer as machine-readable JSON.
+
+    ``convoys`` must already be normalized (the caller shares one pass
+    with the CSV artifact); the counters are the miner's full shared
+    dict (engine, tracker, reorder, and shard keys all report there),
+    plus the clusterer's own dict when an incremental clusterer ran.
+    """
+    payload = {
+        "params": {
+            "m": args.m,
+            "k": args.k,
+            "eps": args.eps,
+            "paper_semantics": args.paper_semantics,
+            "window": args.window,
+            "shards": args.shards,
+            "executor": args.executor if args.shards is not None else None,
+        },
+        "elapsed_seconds": elapsed,
+        "convoys": [
+            {
+                "objects": sorted(str(o) for o in convoy.objects),
+                "t_start": convoy.t_start,
+                "t_end": convoy.t_end,
+            }
+            for convoy in convoys
+        ],
+        "counters": dict(miner.counters),
+    }
+    if miner.clusterer is not None and hasattr(miner.clusterer, "counters"):
+        payload["clusterer_counters"] = dict(miner.clusterer.counters)
+    with open(args.json, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
 
 
 def _cmd_stats(args, out):

@@ -94,6 +94,25 @@ Candidates carrying no support id (the previous step ran the classic
 :meth:`advance` would produce; the differential suite in
 ``tests/streaming/test_delta_equivalence.py`` holds the two paths equal
 tick for tick.
+
+The shard seam
+--------------
+
+Both stepping methods are factored as *plan → match → apply*: a first
+pass over the live list decides, per candidate, whether it splices
+through (unchanged support) or needs a cluster scan; the scans are then
+executed in bulk by the pure kernel :func:`match_candidates` behind the
+:meth:`CandidateTracker._match_live` hook; finally one ordered apply
+pass replays the classic survivor/seed/report logic from the match
+results.  Because the kernel is a pure function of ``(clusters, object
+sets, scan lists)`` and the apply pass runs strictly in live-list order,
+the matching work can be executed anywhere — in particular fanned out
+across shards and executor backends by
+:class:`repro.streaming.sharding.ShardedCandidateTracker`, which
+overrides only ``_match_live`` — without moving a single report or
+survivor out of the classic deterministic order.  Splices and closes
+never leave the owning tracker: they are O(1) bookkeeping, and keeping
+them local is what makes the fan-out transparent.
 """
 
 from __future__ import annotations
@@ -110,6 +129,37 @@ COUNTER_KEYS = (
     "spliced_candidates",
     "reintersected_candidates",
 )
+
+
+def match_candidates(members, jobs, min_objects):
+    """Pure matching kernel shared by the serial path and shard workers.
+
+    Stateless and picklable by construction: this is the unit of work the
+    sharded tracker ships to executor backends (one call per shard batch),
+    and exactly what the unsharded tracker runs inline.
+
+    Args:
+        members: list of cluster member ``frozenset``s for this step.
+        jobs: list of ``(pos, objects, scan)`` triples — a candidate's
+            position in the live list, its object set, and the cluster
+            indexes to scan (``None`` scans every cluster).
+        min_objects: the convoy query's ``m``.
+
+    Returns:
+        List of ``(pos, matches)`` pairs in job order, where ``matches``
+        lists the ``(cluster_index, intersection)`` pairs with
+        ``len(intersection) >= min_objects``, in scan order.
+    """
+    out = []
+    full_scan = range(len(members))
+    for pos, objects, scan in jobs:
+        matches = []
+        for index in (full_scan if scan is None else scan):
+            common = objects & members[index]
+            if len(common) >= min_objects:
+                matches.append((index, common))
+        out.append((pos, matches))
+    return out
 
 
 @dataclass(frozen=True)
@@ -250,6 +300,17 @@ class CandidateTracker:
         """Number of live candidate chains (O(1), for monitoring)."""
         return len(self._candidates)
 
+    def _match_live(self, members, jobs):
+        """Execute the step's cluster scans; the shard fan-out hook.
+
+        The base tracker runs the kernel inline.
+        :class:`repro.streaming.sharding.ShardedCandidateTracker`
+        overrides this one method to partition ``jobs`` across shards and
+        executor backends; result order is irrelevant (the caller keys by
+        position), so any merge of the per-shard outputs is legal.
+        """
+        return match_candidates(members, jobs, self._m)
+
     def advance(self, clusters, window_start, window_end):
         """Process one time step covering ``[window_start, window_end]``.
 
@@ -274,33 +335,36 @@ class CandidateTracker:
             # without a single set intersection; counting them would
             # attribute classic-path work to steps that did none.
             self.counters["reintersected_candidates"] += len(self._candidates)
+        matched = {}
+        if usable and self._candidates:
+            jobs = [(pos, candidate.objects, None)
+                    for pos, candidate in enumerate(self._candidates)]
+            matched = dict(self._match_live(usable, jobs))
         closed = []
         survivors = {}  # (objects, t_start) -> _Live
         extended = [False] * len(usable)
-        for candidate in self._candidates:
+        for pos, candidate in enumerate(self._candidates):
             assigned = False
             preserved = False  # some extension kept the full member set
-            for index, cluster in enumerate(usable):
-                common = candidate.objects & cluster
-                if len(common) >= self._m:
-                    assigned = True
-                    extended[index] = True
-                    if len(common) == len(candidate.objects):
-                        preserved = True
-                    key = (common, candidate.t_start)
-                    if key not in survivors:
-                        # A duplicate key means two parents were extended by
-                        # the same cluster into identical chains; either
-                        # parent's window history is sound (every historical
-                        # window cluster contains the chain's objects), so
-                        # the first one is kept.
-                        survivors[key] = _Live(
-                            common,
-                            candidate.t_start,
-                            window_end,
-                            (candidate.history, window_start, window_end,
-                             cluster),
-                        )
+            for index, common in matched.get(pos, ()):
+                assigned = True
+                extended[index] = True
+                if len(common) == len(candidate.objects):
+                    preserved = True
+                key = (common, candidate.t_start)
+                if key not in survivors:
+                    # A duplicate key means two parents were extended by
+                    # the same cluster into identical chains; either
+                    # parent's window history is sound (every historical
+                    # window cluster contains the chain's objects), so
+                    # the first one is kept.
+                    survivors[key] = _Live(
+                        common,
+                        candidate.t_start,
+                        window_end,
+                        (candidate.history, window_start, window_end,
+                         usable[index]),
+                    )
             if self._paper_semantics:
                 report_run = not assigned
             else:
@@ -365,32 +429,23 @@ class CandidateTracker:
             for index, (_members, cid, dirty) in enumerate(usable)
             if not dirty
         }
-        dirty_indexes = [
+        dirty_indexes = tuple(
             index for index, (_m, _c, dirty) in enumerate(usable) if dirty
-        ]
-        closed = []
-        survivors = {}  # (objects, t_start) -> _Live, in classic order
-        extended = [False] * len(usable)
+        )
+        members = [entry[0] for entry in usable]
+        # Plan pass: decide, per candidate, splice vs scan (candidate order
+        # is preserved through the job positions, so the apply pass below
+        # replays the classic ordering exactly).
+        splice_at = {}  # pos -> unchanged cluster index
+        jobs = []
         spliced = reintersected = 0
-        for candidate in self._candidates:
+        for pos, candidate in enumerate(self._candidates):
             support = candidate.support
             if support is not None and support in unchanged_at:
                 # Sole possible extension, full member-set preservation:
                 # splice the chain through in O(1).
-                index = unchanged_at[support]
-                cluster = usable[index][0]
-                extended[index] = True
+                splice_at[pos] = unchanged_at[support]
                 spliced += 1
-                key = (candidate.objects, candidate.t_start)
-                if key not in survivors:
-                    survivors[key] = _Live(
-                        candidate.objects,
-                        candidate.t_start,
-                        window_end,
-                        (candidate.history, window_start, window_end,
-                         cluster),
-                        support=support,
-                    )
                 continue
             # Dirty or unknown support: re-intersect.  A known support
             # confines the candidate inside a dirty (or vanished) previous
@@ -398,35 +453,52 @@ class CandidateTracker:
             # an unknown support (previous step ran the classic advance)
             # gets the full scan.
             if support is not None:
-                scan = dirty_indexes
+                scan, scan_size = dirty_indexes, len(dirty_indexes)
             else:
-                scan = range(len(usable))
-            if scan:
+                scan, scan_size = None, len(usable)
+            if scan_size:
                 # Mirror advance()'s rule: only count candidates that
                 # actually enter an intersection scan, so clusterless or
                 # all-unchanged steps don't inflate the re-intersection
                 # totals the CLI and benches report.
                 reintersected += 1
+                jobs.append((pos, candidate.objects, scan))
+        matched = dict(self._match_live(members, jobs)) if jobs else {}
+        closed = []
+        survivors = {}  # (objects, t_start) -> _Live, in classic order
+        extended = [False] * len(usable)
+        for pos, candidate in enumerate(self._candidates):
+            unchanged_index = splice_at.get(pos)
+            if unchanged_index is not None:
+                extended[unchanged_index] = True
+                key = (candidate.objects, candidate.t_start)
+                if key not in survivors:
+                    survivors[key] = _Live(
+                        candidate.objects,
+                        candidate.t_start,
+                        window_end,
+                        (candidate.history, window_start, window_end,
+                         members[unchanged_index]),
+                        support=candidate.support,
+                    )
+                continue
             assigned = False
             preserved = False
-            for index in scan:
-                cluster, cid, _dirty = usable[index]
-                common = candidate.objects & cluster
-                if len(common) >= self._m:
-                    assigned = True
-                    extended[index] = True
-                    if len(common) == len(candidate.objects):
-                        preserved = True
-                    key = (common, candidate.t_start)
-                    if key not in survivors:
-                        survivors[key] = _Live(
-                            common,
-                            candidate.t_start,
-                            window_end,
-                            (candidate.history, window_start, window_end,
-                             cluster),
-                            support=cid,
-                        )
+            for index, common in matched.get(pos, ()):
+                assigned = True
+                extended[index] = True
+                if len(common) == len(candidate.objects):
+                    preserved = True
+                key = (common, candidate.t_start)
+                if key not in survivors:
+                    survivors[key] = _Live(
+                        common,
+                        candidate.t_start,
+                        window_end,
+                        (candidate.history, window_start, window_end,
+                         members[index]),
+                        support=usable[index][1],
+                    )
             if self._paper_semantics:
                 report_run = not assigned
             else:

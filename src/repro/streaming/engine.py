@@ -7,25 +7,35 @@ loop needs the *future* of the data, so the same semantics can run online:
 :class:`StreamingConvoyMiner` ingests one snapshot per call, pays exactly
 one snapshot-clustering pass plus one candidate-intersection step per tick,
 and emits a convoy the moment its chain fails to extend — no full-history
-recompute, ever.  The clustering pass itself is pluggable: the default is
-a fresh :func:`~repro.clustering.dbscan.dbscan` per tick, and
-``clusterer="incremental"`` swaps in the cross-tick delta maintenance of
-:class:`~repro.clustering.incremental.IncrementalSnapshotClusterer`, which
-produces identical clusters (hence identical convoys) while only paying
-for the objects that actually moved.
+recompute, ever.
 
-With the incremental clusterer the diff it computes anyway — a
-:class:`~repro.clustering.incremental.ClusterDelta` of stable cluster ids
-with unchanged/changed/appeared/vanished classifications — is propagated
-into the candidate step: a clusterer exposing ``cluster_with_delta`` makes
-``feed`` call :meth:`~repro.core.candidates.CandidateTracker.advance_delta`,
-which splices candidates whose supporting cluster came through unchanged
-in O(1) instead of re-intersecting every candidate against every cluster.
-Both layers of the per-tick cost are then proportional to what actually
-changed.  Clusterers without a delta (the fresh-DBSCAN default, custom
-``cluster()`` objects) and cluster-free ticks (gaps, fewer than ``m``
-objects) automatically take the classic full
-:meth:`~repro.core.candidates.CandidateTracker.advance` path.
+Internally the miner is a thin composition over the explicit staged
+pipeline of :mod:`repro.streaming.pipeline` —
+
+::
+
+    feed(t, snapshot) ──> ingest ──> cluster ──> track ──> emit
+
+— the engine validates parameters, builds the stages, and forwards; the
+stages own the data path.  Each stage is independently swappable:
+
+* **ingest** carries the optional watermarked
+  :class:`~repro.streaming.reorder.ReorderBuffer` (out-of-order
+  tolerance) and the gap rule's bookkeeping;
+* **cluster** runs a fresh :func:`~repro.clustering.dbscan.dbscan` per
+  tick by default, or the cross-tick delta maintenance of
+  :class:`~repro.clustering.incremental.IncrementalSnapshotClusterer`
+  (``clusterer="incremental"``), whose
+  :class:`~repro.clustering.incremental.ClusterDelta` flows on to the
+  tracker so both per-tick costs are proportional to what changed;
+* **track** holds the candidate tracker — the classic
+  :class:`~repro.core.candidates.CandidateTracker`, or, with
+  ``shards=``, a
+  :class:`~repro.streaming.sharding.ShardedCandidateTracker` that fans
+  the tick's matching work across shards on a pluggable executor
+  backend (``executor="serial" | "thread" | "process"``) while keeping
+  emissions bit-for-bit identical;
+* **emit** converts closed chains to convoys and keeps the counters.
 
 The offline :func:`repro.core.cmc.cmc` delegates its per-snapshot step to
 this engine, so the chaining semantics (including the ``paper_semantics``
@@ -51,10 +61,17 @@ O(live chains x window).
 
 from __future__ import annotations
 
-from repro.clustering.dbscan import dbscan
 from repro.clustering.incremental import IncrementalSnapshotClusterer
 from repro.core.candidates import CandidateTracker
+from repro.streaming.pipeline import (
+    ClusterStage,
+    EmitStage,
+    IngestStage,
+    StreamingPipeline,
+    TrackStage,
+)
 from repro.streaming.reorder import ReorderBuffer
+from repro.streaming.sharding import ShardedCandidateTracker
 
 #: Counter keys a miner maintains in its ``counters`` dict.
 COUNTER_KEYS = (
@@ -107,6 +124,19 @@ class StreamingConvoyMiner:
             snapshots), and ``flush`` drains the buffer before closing
             chains.  The chosen buffer is introspectable as
             :attr:`reorder` (``None`` for the strict in-order contract).
+        shards: optional shard count for the candidate tracker.  With
+            ``shards=N`` the track stage holds a
+            :class:`~repro.streaming.sharding.ShardedCandidateTracker`
+            partitioning live candidates by support-cluster id across
+            ``N`` shards; emissions stay bit-for-bit identical to the
+            unsharded run.  ``None`` (default) keeps the classic tracker
+            (``shards=1`` still routes through the sharding layer, which
+            is how its overhead is measured).
+        executor: executor backend for the per-shard work — ``"serial"``
+            (default), ``"thread"``, ``"process"``, or a ready-made
+            backend object (see :mod:`repro.streaming.executor`).  Only
+            meaningful with ``shards``; pooled backends are released by
+            :meth:`flush`.
 
     Usage::
 
@@ -124,11 +154,18 @@ class StreamingConvoyMiner:
     """
 
     def __init__(self, m, k, eps, paper_semantics=False, window=None,
-                 counters=None, clusterer=None, reorder=None):
+                 counters=None, clusterer=None, reorder=None, shards=None,
+                 executor=None):
         if eps <= 0:
             raise ValueError(f"eps must be positive, got {eps}")
         if window is not None and window < k:
             raise ValueError(f"window must be >= k={k}, got {window}")
+        if executor is not None and shards is None:
+            raise ValueError(
+                "executor requires shards: pass shards=N to fan the "
+                "candidate tracker out (executor picks where the shard "
+                "batches run)"
+            )
         self.counters = counters if counters is not None else {}
         for key in COUNTER_KEYS:
             self.counters.setdefault(key, 0)
@@ -143,11 +180,20 @@ class StreamingConvoyMiner:
                 "reorder must be None, a ReorderBuffer, or a dict of "
                 f"ReorderBuffer keyword arguments, got {reorder!r}"
             )
-        # CandidateTracker validates m and k, and adds its own counter
-        # keys (splice/re-intersection totals) to the shared dict.
-        self._tracker = CandidateTracker(
-            m, k, paper_semantics=paper_semantics, counters=self.counters
-        )
+        # The tracker validates m and k, and adds its own counter keys
+        # (splice/re-intersection, and shard totals when sharded) to the
+        # shared dict.
+        if shards is None:
+            tracker = CandidateTracker(
+                m, k, paper_semantics=paper_semantics,
+                counters=self.counters,
+            )
+        else:
+            tracker = ShardedCandidateTracker(
+                m, k, shards=shards, executor=executor,
+                paper_semantics=paper_semantics, counters=self.counters,
+            )
+        self.shards = None if shards is None else int(shards)
         self._m = m
         self._k = k
         self._eps = eps
@@ -163,23 +209,30 @@ class StreamingConvoyMiner:
                 "clusterer must be None, 'full', 'incremental', or an "
                 f"object with a cluster() method, got {clusterer!r}"
             )
-        self._last_t = None
+        #: The staged data path (ingest → cluster → track → emit); see
+        #: :mod:`repro.streaming.pipeline`.
+        self.pipeline = StreamingPipeline(
+            IngestStage(self.reorder),
+            ClusterStage(self.clusterer, eps, m, self.counters),
+            TrackStage(tracker, window),
+            EmitStage(self.counters),
+        )
         self._flushed = False
 
     @property
     def last_time(self):
         """Time of the most recently fed snapshot (None before the first)."""
-        return self._last_t
+        return self.pipeline.ingest.last_time
 
     @property
     def live_candidate_count(self):
         """Number of currently open candidate chains."""
-        return self._tracker.live_count
+        return self.pipeline.track.live_count
 
     @property
     def live_candidates(self):
         """The open chains as convoy-shaped records (for introspection)."""
-        return self._tracker.live_candidates
+        return self.pipeline.track.live_candidates
 
     def feed(self, t, snapshot):
         """Ingest the snapshot at time ``t``; return the convoys it closed.
@@ -200,54 +253,7 @@ class StreamingConvoyMiner:
         """
         if self._flushed:
             raise RuntimeError("stream already flushed; create a new miner")
-        if self.reorder is not None:
-            closed = []
-            for released_t, released_snapshot in self.reorder.push(t, snapshot):
-                closed.extend(self._ingest(released_t, released_snapshot))
-            return closed
-        return self._ingest(int(t), snapshot)
-
-    def _ingest(self, t, snapshot):
-        """The in-order ingestion step behind :meth:`feed`."""
-        if self._last_t is not None and t <= self._last_t:
-            raise ValueError(
-                f"snapshots must arrive in strictly increasing time order: "
-                f"got t={t} after already ingesting t={self._last_t}"
-            )
-        closed = []
-        if self._last_t is not None and t > self._last_t + 1:
-            # The skipped points [last_t+1, t-1] had no data: no cluster can
-            # exist there, so every chain's run of consecutive points ends.
-            closed.extend(self._tracker.advance((), self._last_t + 1, t - 1))
-        delta = None
-        if len(snapshot) >= self._m:
-            if self.clusterer is None:
-                clusters = dbscan(snapshot, self._eps, self._m)
-            else:
-                cluster_with_delta = getattr(
-                    self.clusterer, "cluster_with_delta", None
-                )
-                if cluster_with_delta is not None:
-                    clusters, delta = cluster_with_delta(snapshot)
-                else:
-                    clusters = self.clusterer.cluster(snapshot)
-            self.counters["clustering_calls"] += 1
-            self.counters["clustered_points"] += len(snapshot)
-        else:
-            # Fewer than m objects reported: no cluster can exist, and the
-            # empty advance ends every chain (the tracker's gap rule).
-            clusters = ()
-        # advance_delta itself falls back to the classic advance when no
-        # delta is available (fresh DBSCAN, custom clusterers, gap ticks).
-        closed.extend(self._tracker.advance_delta(clusters, delta, t, t))
-        if self._window is not None:
-            closed.extend(self._tracker.prune_longer_than(self._window))
-        self._last_t = t
-        self.counters["snapshots"] += 1
-        if self._tracker.live_count > self.counters["peak_candidates"]:
-            self.counters["peak_candidates"] = self._tracker.live_count
-        self.counters["convoys_emitted"] += len(closed)
-        return [record.as_convoy() for record in closed]
+        return self.pipeline.feed(t, snapshot)
 
     def flush(self):
         """End the stream: close every open chain, return the qualifiers.
@@ -257,24 +263,21 @@ class StreamingConvoyMiner:
         drop them because the pseudocode only reports on failed extension.
         With ``reorder=...`` the buffer is drained first — its pending
         snapshots are ingested in time order, so convoys they close (or
-        extend to qualification) are part of the returned tail.
+        extend to qualification) are part of the returned tail.  Pooled
+        executor backends of a sharded tracker are released here.
         After ``flush`` the miner is finished; further ``feed`` calls raise.
         Calling ``flush`` again returns an empty list.
         """
         if self._flushed:
             return []
-        drained = []
-        if self.reorder is not None:
-            for released_t, released_snapshot in self.reorder.drain():
-                drained.extend(self._ingest(released_t, released_snapshot))
+        closed = self.pipeline.flush()
         self._flushed = True
-        closed = self._tracker.flush()
-        self.counters["convoys_emitted"] += len(closed)
-        return drained + [record.as_convoy() for record in closed]
+        return closed
 
 
 def mine_stream(source, m, k, eps, paper_semantics=False, window=None,
-                counters=None, clusterer=None, reorder=None):
+                counters=None, clusterer=None, reorder=None, shards=None,
+                executor=None):
     """Drive a :class:`StreamingConvoyMiner` over a snapshot source.
 
     Args:
@@ -285,8 +288,8 @@ def mine_stream(source, m, k, eps, paper_semantics=False, window=None,
             buffer's watermark and late policy accept (e.g. the jittered
             feeds of ``synthetic_stream(..., jitter=)``).
         m, k, eps: the convoy-query parameters.
-        paper_semantics, window, counters, clusterer, reorder: forwarded
-            to the miner.
+        paper_semantics, window, counters, clusterer, reorder, shards,
+            executor: forwarded to the miner.
 
     Returns:
         List of :class:`~repro.core.convoy.Convoy` in discovery order,
@@ -295,6 +298,7 @@ def mine_stream(source, m, k, eps, paper_semantics=False, window=None,
     miner = StreamingConvoyMiner(
         m, k, eps, paper_semantics=paper_semantics, window=window,
         counters=counters, clusterer=clusterer, reorder=reorder,
+        shards=shards, executor=executor,
     )
     convoys = []
     for t, snapshot in source:

@@ -1,0 +1,158 @@
+"""Pluggable executor backends for per-shard candidate advances.
+
+The sharding layer (:mod:`repro.streaming.sharding`) partitions one
+tick's candidate-matching work into per-shard batches; *where* those
+batches run is this module's job.  Every backend exposes the same
+two-method surface — ``map(fn, tasks)`` returning the results in task
+order, and ``close()`` releasing whatever the backend holds — so the
+tracker neither knows nor cares whether a batch ran inline, on a thread
+pool, or in a worker process:
+
+* :class:`SerialExecutor` — run every task inline on the calling thread.
+  Zero overhead beyond the function calls; the reference backend the
+  scaling bench holds the others against, and the proof that the staged
+  refactor itself costs nothing.
+* :class:`ThreadExecutor` — a shared ``ThreadPoolExecutor``.  Python's
+  GIL serializes the pure-Python set intersections, so this backend buys
+  no wall-clock on CPython today; it exists because it exercises the
+  full fan-out/merge machinery with zero pickling (the cheapest way to
+  test the concurrency seams) and becomes a real speedup on free-threaded
+  builds.
+* :class:`ProcessExecutor` — a lazily created ``ProcessPoolExecutor``.
+  Task payloads cross the process boundary by pickling, so the sharding
+  layer ships *chunked* work: one payload per shard batch (clusters +
+  that shard's candidate jobs in a single message), submitted through
+  ``Executor.map(..., chunksize=)`` so several batches share one IPC
+  round trip.  This is the backend that turns shards into actual cores.
+
+Pools are created on first use and must be released with ``close()``
+(the streaming engine does so on ``flush``); a closed backend rebuilds
+its pool if used again, so a backend instance can be shared across
+sequential runs.
+"""
+
+from __future__ import annotations
+
+#: Names accepted by :func:`resolve_executor`.
+BACKENDS = ("serial", "thread", "process")
+
+
+class SerialExecutor:
+    """Run every task inline, in order, on the calling thread."""
+
+    name = "serial"
+
+    def map(self, fn, tasks):
+        """Apply ``fn`` to each task; return the results in task order."""
+        return [fn(task) for task in tasks]
+
+    def close(self):
+        """Nothing to release."""
+
+    def __repr__(self):
+        return "SerialExecutor()"
+
+
+class ThreadExecutor:
+    """Fan tasks out across a shared thread pool.
+
+    Args:
+        max_workers: pool size (default: the ``ThreadPoolExecutor``
+            default, ``min(32, cpu_count + 4)``).
+    """
+
+    name = "thread"
+
+    def __init__(self, max_workers=None):
+        self._max_workers = max_workers
+        self._pool = None
+
+    def map(self, fn, tasks):
+        if self._pool is None:
+            from concurrent.futures import ThreadPoolExecutor
+
+            self._pool = ThreadPoolExecutor(
+                max_workers=self._max_workers,
+                thread_name_prefix="repro-shard",
+            )
+        return list(self._pool.map(fn, tasks))
+
+    def close(self):
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __repr__(self):
+        return f"ThreadExecutor(max_workers={self._max_workers!r})"
+
+
+class ProcessExecutor:
+    """Fan tasks out across a lazily created process pool.
+
+    Payloads are pickled per chunk: ``chunksize`` tasks travel in one
+    IPC message (the "chunked pickling" of the sharded design — a task
+    is already a whole shard batch, so the default of 1 means one
+    message per shard; raise it when shards outnumber workers).
+
+    Args:
+        max_workers: pool size (default: ``os.cpu_count()``).
+        chunksize: tasks pickled per IPC message (``>= 1``).
+    """
+
+    name = "process"
+
+    def __init__(self, max_workers=None, chunksize=1):
+        if chunksize < 1:
+            raise ValueError(f"chunksize must be >= 1, got {chunksize}")
+        self._max_workers = max_workers
+        self._chunksize = int(chunksize)
+        self._pool = None
+
+    def map(self, fn, tasks):
+        if self._pool is None:
+            from concurrent.futures import ProcessPoolExecutor
+
+            self._pool = ProcessPoolExecutor(max_workers=self._max_workers)
+        return list(self._pool.map(fn, tasks, chunksize=self._chunksize))
+
+    def close(self):
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __repr__(self):
+        return (
+            f"ProcessExecutor(max_workers={self._max_workers!r}, "
+            f"chunksize={self._chunksize})"
+        )
+
+
+def resolve_executor(spec):
+    """Turn an executor spec into a backend instance.
+
+    Args:
+        spec: ``None`` (serial), one of the :data:`BACKENDS` names, or a
+            ready-made backend — any object with ``map(fn, tasks)`` and
+            ``close()`` is accepted as-is, so callers can inject a
+            custom pool (pinned workers, an async bridge, ...).
+
+    Returns:
+        The backend instance.
+
+    Raises:
+        ValueError: for unknown names or objects missing the surface.
+    """
+    if spec is None or spec == "serial":
+        return SerialExecutor()
+    if spec == "thread":
+        return ThreadExecutor()
+    if spec == "process":
+        return ProcessExecutor()
+    if callable(getattr(spec, "map", None)) and callable(
+        getattr(spec, "close", None)
+    ):
+        return spec
+    raise ValueError(
+        f"executor must be None, one of {BACKENDS}, or an object with "
+        f"map()/close() methods, got {spec!r}"
+    )

@@ -1,0 +1,188 @@
+"""Sharded candidate tracking: fan one tick's matching work across shards.
+
+Algorithm 1's per-tick candidate step is a join — every live candidate
+against every cluster — and PR 3 already partitioned it implicitly: a
+candidate records the stable id of its *support* cluster, and because
+snapshot clusters are disjoint, candidates supported by different
+clusters never compete for the same extension.  This module makes that
+partition explicit and executes it in parallel:
+
+* live candidates are routed to shards by their support-cluster id
+  (memoized rendezvous hashing, so a chain stays on one shard for as
+  long as its support survives and adding a shard moves only ``1/n`` of
+  the keys); candidates without a support id — the classic
+  :meth:`~repro.core.candidates.CandidateTracker.advance` path, and
+  chains seeded from appearing or boundary clusters before their first
+  delta step — are spread round-robin by live-list position;
+* each shard's batch of cluster scans runs as one task on a pluggable
+  executor backend (:mod:`repro.streaming.executor`): inline, thread
+  pool, or process pool with chunked pickling;
+* the per-shard match results merge back through the tracker's ordered
+  apply pass, which replays survivors, seeds, and reports strictly in
+  live-list order — so the emissions are **bit for bit** the unsharded
+  tracker's, proven tick-for-tick by
+  ``tests/streaming/test_sharded_equivalence.py``.
+
+What crosses the executor boundary is only the pure matching kernel
+(:func:`repro.core.candidates.match_candidates` over cluster member
+sets and candidate object sets): splices stay O(1) in the owning
+tracker, window histories never leave the parent process, and all state
+mutation happens in the deterministic apply pass.  That keeps the
+process path's pickling cost proportional to the tick's *working set*
+(object ids under scan), not to the accumulated chain histories.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.core.candidates import CandidateTracker, match_candidates
+from repro.streaming.executor import resolve_executor
+
+#: Counter keys a sharded tracker adds to its ``counters`` dict.
+COUNTER_KEYS = (
+    "shard_steps",
+    "sharded_candidates",
+    "max_shard_batch",
+)
+
+
+def _stable_hash(key):
+    """A process-stable 64-bit hash (``hash()`` is salted per run)."""
+    digest = hashlib.blake2b(
+        repr(key).encode("utf-8"), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big")
+
+
+def rendezvous_shard(key, n_shards):
+    """Deterministic highest-random-weight (rendezvous) shard choice.
+
+    Every observer computes the same winner for a key with no shared
+    routing table, and resizing from ``n`` to ``n + 1`` shards reassigns
+    only the keys the new shard wins (~``1/(n+1)`` of them) — the
+    property that will let a future rebalancer grow the shard set
+    without reshuffling every live chain.
+
+    Args:
+        key: any ``repr``-stable routing key (support-cluster ids here).
+        n_shards: number of shards (``>= 1``).
+
+    Returns:
+        The winning shard index in ``[0, n_shards)``.
+    """
+    if n_shards < 1:
+        raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+    if n_shards == 1:
+        return 0
+    best_shard = 0
+    best_weight = -1
+    for shard in range(n_shards):
+        weight = _stable_hash((shard, key))
+        if weight > best_weight:
+            best_shard = shard
+            best_weight = weight
+    return best_shard
+
+
+def _match_shard(task):
+    """One shard batch: run the pure kernel over this shard's jobs.
+
+    Module-level (hence picklable by reference) so process backends can
+    ship it; the payload is one chunk — the step's cluster member sets
+    plus the shard's candidate jobs — pickled as a single message.
+    """
+    members, jobs, min_objects = task
+    return match_candidates(members, jobs, min_objects)
+
+
+class ShardedCandidateTracker(CandidateTracker):
+    """A :class:`~repro.core.candidates.CandidateTracker` whose per-tick
+    matching work is partitioned across shards and executed on a backend.
+
+    Everything observable — survivor order, reports, window histories,
+    the shared counter keys (``advance_steps``, ``delta_steps``,
+    ``spliced_candidates``, ``reintersected_candidates``) — is identical
+    to the unsharded tracker; the subclass overrides only the
+    :meth:`~repro.core.candidates.CandidateTracker._match_live` seam and
+    adds the :data:`COUNTER_KEYS` bookkeeping.
+
+    Args:
+        min_objects, min_lifetime, paper_semantics, counters: as for
+            :class:`~repro.core.candidates.CandidateTracker`.
+        shards: number of partitions (``>= 1``; 1 still routes every
+            batch through the backend, which is how the scaling bench
+            isolates pure layer overhead).
+        executor: backend spec forwarded to
+            :func:`~repro.streaming.executor.resolve_executor` —
+            ``None``/``"serial"``, ``"thread"``, ``"process"``, or a
+            ready-made backend object.
+
+    Call :meth:`close` (the streaming engine does, on ``flush``) to
+    release pooled backends.
+    """
+
+    def __init__(self, min_objects, min_lifetime, shards,
+                 executor="serial", paper_semantics=False, counters=None):
+        super().__init__(
+            min_objects, min_lifetime, paper_semantics=paper_semantics,
+            counters=counters,
+        )
+        shards = int(shards)
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        self._n_shards = shards
+        self._backend = resolve_executor(executor)
+        self._route_cache = {}  # support id -> shard (memoized rendezvous)
+        for key in COUNTER_KEYS:
+            self.counters.setdefault(key, 0)
+
+    @property
+    def shards(self):
+        """Number of shards the tracker partitions candidates across."""
+        return self._n_shards
+
+    @property
+    def executor(self):
+        """The executor backend running the per-shard batches."""
+        return self._backend
+
+    def _shard_for(self, pos, support):
+        """Route one candidate: support-keyed rendezvous, else round-robin."""
+        if support is None:
+            return pos % self._n_shards
+        shard = self._route_cache.get(support)
+        if shard is None:
+            if len(self._route_cache) > max(1024, 8 * self.live_count):
+                # Support ids are never reused, so dead entries only
+                # accumulate; a full reset is cheap and self-repairing.
+                self._route_cache.clear()
+            shard = rendezvous_shard(support, self._n_shards)
+            self._route_cache[support] = shard
+        return shard
+
+    def _match_live(self, members, jobs):
+        """Partition the step's scans into shard batches and execute them."""
+        if not jobs:
+            return []
+        candidates = self._candidates
+        buckets = [[] for _ in range(self._n_shards)]
+        for job in jobs:
+            pos = job[0]
+            buckets[self._shard_for(pos, candidates[pos].support)].append(job)
+        tasks = [
+            (members, bucket, self._m) for bucket in buckets if bucket
+        ]
+        self.counters["shard_steps"] += 1
+        self.counters["sharded_candidates"] += len(jobs)
+        biggest = max(len(bucket) for bucket in buckets)
+        if biggest > self.counters["max_shard_batch"]:
+            self.counters["max_shard_batch"] = biggest
+        results = []
+        for part in self._backend.map(_match_shard, tasks):
+            results.extend(part)
+        return results
+
+    def close(self):
+        """Release the executor backend (idempotent)."""
+        self._backend.close()

@@ -14,7 +14,10 @@ consumes :class:`~repro.clustering.incremental.ClusterDelta` diffs
 Equality is asserted tick-for-tick (not just on the final answer), under
 both candidate-semantics modes, across churn/turnover sweeps, time gaps,
 below-``m`` ticks, bounded windows (prune interaction), flush-after-gap,
-key-order shuffles, and the adaptive churn threshold.
+key-order shuffles, and the adaptive churn threshold.  The miner
+factories and the lockstep driver are the shared fixtures of
+``tests/streaming/conftest.py`` (also used by the reorder and sharded
+suites).
 """
 
 import pytest
@@ -22,70 +25,23 @@ import pytest
 from repro.clustering.incremental import IncrementalSnapshotClusterer
 from repro.core.cmc import cmc
 from repro.datasets import synthetic_dataset
-from repro.streaming import StreamingConvoyMiner, churn_stream, replay_database
+from repro.streaming import churn_stream, replay_database
 
 SEMANTICS = (False, True)
-
-
-class ClusterOnly:
-    """Hide ``cluster_with_delta`` so the engine runs PR 2's classic path."""
-
-    def __init__(self, inner):
-        self.inner = inner
-
-    def cluster(self, snapshot):
-        return self.inner.cluster(snapshot)
-
-
-def make_miners(m, k, eps, paper_semantics=False, window=None, **clusterer_kwargs):
-    """One miner per pipeline: delta-aware, PR 2 classic, full baseline."""
-    return {
-        "delta": StreamingConvoyMiner(
-            m, k, eps, paper_semantics=paper_semantics, window=window,
-            clusterer=IncrementalSnapshotClusterer(eps, m, **clusterer_kwargs),
-        ),
-        "pr2": StreamingConvoyMiner(
-            m, k, eps, paper_semantics=paper_semantics, window=window,
-            clusterer=ClusterOnly(
-                IncrementalSnapshotClusterer(eps, m, **clusterer_kwargs)
-            ),
-        ),
-        "full": StreamingConvoyMiner(
-            m, k, eps, paper_semantics=paper_semantics, window=window,
-        ),
-    }
-
-
-def assert_lockstep(ticks, miners, flush=True):
-    """Feed every miner the same ticks; compare each feed's emissions."""
-    for t, snapshot in ticks:
-        emitted = {
-            name: miner.feed(t, dict(snapshot))
-            for name, miner in miners.items()
-        }
-        assert emitted["delta"] == emitted["pr2"] == emitted["full"], (
-            f"tick {t}: delta {emitted['delta']} / pr2 {emitted['pr2']} / "
-            f"full {emitted['full']}"
-        )
-    if flush:
-        flushed = {name: miner.flush() for name, miner in miners.items()}
-        assert flushed["delta"] == flushed["pr2"] == flushed["full"], (
-            f"flush: delta {flushed['delta']} / pr2 {flushed['pr2']} / "
-            f"full {flushed['full']}"
-        )
-    return miners
 
 
 class TestTickForTickConvoyEquality:
     @pytest.mark.parametrize("paper_semantics", SEMANTICS)
     @pytest.mark.parametrize("churn", [0.0, 0.02, 0.1, 0.3, 0.7])
-    def test_churn_sweep(self, paper_semantics, churn):
+    def test_churn_sweep(self, make_pipeline_miners, assert_lockstep,
+                         paper_semantics, churn):
         # area = 12 * eps keeps the stream dense enough that clusters (and
         # hence live candidates) exist on most ticks.
         ticks = list(churn_stream(100, 50, seed=29, eps=8.0, churn=churn,
                                   turnover=0.03, area=96.0))
         miners = assert_lockstep(
-            ticks, make_miners(3, 5, 8.0, paper_semantics=paper_semantics)
+            ticks,
+            make_pipeline_miners(3, 5, 8.0, paper_semantics=paper_semantics),
         )
         if churn <= 0.1:
             # The low-churn regime must actually exercise the splice path,
@@ -95,16 +51,19 @@ class TestTickForTickConvoyEquality:
             assert miners["full"].counters["delta_steps"] == 0
 
     @pytest.mark.parametrize("paper_semantics", SEMANTICS)
-    def test_high_turnover(self, paper_semantics):
+    def test_high_turnover(self, make_pipeline_miners, assert_lockstep,
+                           paper_semantics):
         """Arrivals/departures exercise appeared/vanished classifications."""
         ticks = list(churn_stream(60, 40, seed=31, eps=8.0, churn=0.05,
                                   turnover=0.15))
         assert_lockstep(
-            ticks, make_miners(3, 4, 8.0, paper_semantics=paper_semantics)
+            ticks,
+            make_pipeline_miners(3, 4, 8.0, paper_semantics=paper_semantics),
         )
 
     @pytest.mark.parametrize("paper_semantics", SEMANTICS)
-    def test_database_replay_with_gaps(self, paper_semantics):
+    def test_database_replay_with_gaps(self, make_pipeline_miners,
+                                       assert_lockstep, paper_semantics):
         """Empty and below-m snapshots interleave clusterless advances
         (classic path) with delta steps; supports must recover."""
         spec = synthetic_dataset(
@@ -114,11 +73,13 @@ class TestTickForTickConvoyEquality:
         )
         ticks = list(replay_database(spec.database))
         assert_lockstep(
-            ticks, make_miners(3, 5, 5.0, paper_semantics=paper_semantics)
+            ticks,
+            make_pipeline_miners(3, 5, 5.0, paper_semantics=paper_semantics),
         )
 
     @pytest.mark.parametrize("paper_semantics", SEMANTICS)
-    def test_explicit_time_gaps(self, paper_semantics):
+    def test_explicit_time_gaps(self, make_pipeline_miners, assert_lockstep,
+                                paper_semantics):
         """Skipped time points (gap advances) between delta steps."""
         ticks = [
             (t, snapshot)
@@ -127,10 +88,12 @@ class TestTickForTickConvoyEquality:
             if t % 9 != 4  # drop ticks entirely: the engine sees a gap
         ]
         assert_lockstep(
-            ticks, make_miners(3, 3, 8.0, paper_semantics=paper_semantics)
+            ticks,
+            make_pipeline_miners(3, 3, 8.0, paper_semantics=paper_semantics),
         )
 
-    def test_key_order_shuffles_without_movement(self):
+    def test_key_order_shuffles_without_movement(self, make_pipeline_miners,
+                                                 assert_lockstep):
         """Reordered snapshot keys flip border ties (clusters 'changed'
         with no churn); the delta path must re-intersect exactly those."""
         import random
@@ -143,36 +106,40 @@ class TestTickForTickConvoyEquality:
             items = list(pos.items())
             rng.shuffle(items)
             ticks.append((t, dict(items)))
-        assert_lockstep(ticks, make_miners(2, 4, 4.0))
+        assert_lockstep(ticks, make_pipeline_miners(2, 4, 4.0))
 
     @pytest.mark.parametrize("churn", [0.05, 0.3])
-    def test_adaptive_threshold_stays_exact(self, churn):
+    def test_adaptive_threshold_stays_exact(self, make_pipeline_miners,
+                                            assert_lockstep, churn):
         """The adaptive policy only re-times the fallback decision; the
         emitted convoys must not move."""
         ticks = list(churn_stream(60, 40, seed=41, eps=8.0, churn=churn,
                                   turnover=0.02))
         assert_lockstep(
-            ticks, make_miners(3, 5, 8.0, churn_threshold="adaptive")
+            ticks,
+            make_pipeline_miners(3, 5, 8.0, churn_threshold="adaptive"),
         )
 
 
 class TestWindowAndFlushInteraction:
     @pytest.mark.parametrize("paper_semantics", SEMANTICS)
     @pytest.mark.parametrize("window", [5, 8])
-    def test_bounded_window_prunes_identically(self, paper_semantics, window):
+    def test_bounded_window_prunes_identically(self, make_pipeline_miners,
+                                               assert_lockstep,
+                                               paper_semantics, window):
         """prune_longer_than() force-closes spliced chains too; pruned
         supports must re-seed their unchanged cluster next tick."""
         ticks = list(churn_stream(100, 45, seed=43, eps=8.0, churn=0.05,
                                   turnover=0.02, area=96.0))
         miners = assert_lockstep(
             ticks,
-            make_miners(3, 5, 8.0, paper_semantics=paper_semantics,
-                        window=window),
+            make_pipeline_miners(3, 5, 8.0, paper_semantics=paper_semantics,
+                                 window=window),
         )
         # Windowed low-churn streams still splice between prunes.
         assert miners["delta"].counters["spliced_candidates"] > 0
 
-    def test_flush_after_gap(self):
+    def test_flush_after_gap(self, make_pipeline_miners, assert_lockstep):
         """A trailing gap closes every chain before the flush; both paths
         must agree on the gap emission and on the (empty) flush."""
         ticks = [
@@ -181,12 +148,12 @@ class TestWindowAndFlushInteraction:
                                             churn=0.05)
         ]
         ticks = ticks[:20] + [(40, ticks[20][1])]  # jump: 19 -> 40
-        assert_lockstep(ticks, make_miners(3, 4, 8.0))
+        assert_lockstep(ticks, make_pipeline_miners(3, 4, 8.0))
 
-    def test_mid_stream_state_equality(self):
+    def test_mid_stream_state_equality(self, make_pipeline_miners):
         """Beyond emissions: live candidate sets (objects and intervals)
         stay identical between the paths at every tick."""
-        miners = make_miners(3, 5, 8.0)
+        miners = make_pipeline_miners(3, 5, 8.0)
         for t, snapshot in churn_stream(50, 35, seed=53, eps=8.0,
                                         churn=0.08, turnover=0.03):
             for miner in miners.values():

@@ -21,107 +21,34 @@ Two layers of the claim:
   emissions, and the three buffered pipelines agree with each other at
   every single ``feed`` call (tick-for-tick, not just at the end).
 
-The fuzz driver draws every workload knob from a seeded RNG so failures
-replay exactly; each seed is its own test case.
+The seeded workload generator and the miner factories are the shared
+fixtures of ``tests/streaming/conftest.py``; every knob is drawn from a
+seeded RNG so failures replay exactly, and each seed is its own test
+case.
 """
 
 import random
 
 import pytest
 
-from repro.clustering.incremental import IncrementalSnapshotClusterer
 from repro.core.verification import normalize_convoys
-from repro.streaming import (
-    StreamingConvoyMiner,
-    churn_stream,
-    jitter_ticks,
-    reorder_ticks,
-)
+from repro.streaming import reorder_ticks
 
 SEMANTICS = (False, True)
 PIPELINES = ("delta", "pr2", "full")
 
 
-class ClusterOnly:
-    """Hide ``cluster_with_delta`` so the engine runs PR 2's classic path."""
-
-    def __init__(self, inner):
-        self.inner = inner
-
-    def cluster(self, snapshot):
-        return self.inner.cluster(snapshot)
-
-
-def make_miner(pipeline, m, k, eps, paper_semantics=False, window=None,
-               reorder=None):
-    clusterer = None
-    if pipeline != "full":
-        clusterer = IncrementalSnapshotClusterer(eps, m)
-        if pipeline == "pr2":
-            clusterer = ClusterOnly(clusterer)
-    return StreamingConvoyMiner(
-        m, k, eps, paper_semantics=paper_semantics, window=window,
-        clusterer=clusterer, reorder=reorder,
-    )
-
-
-def fuzz_workload(seed):
-    """Draw one complete workload from a seeded RNG.
-
-    Returns ``(in_order_ticks, shuffled_feed, lateness)`` where the feed
-    contains bounded jitter, optional whole-tick gaps, and adjacent
-    duplicate-timestamp splits whose merged union equals the original
-    snapshot — everything the buffer promises to absorb losslessly.
-    """
-    rng = random.Random(seed)
-    n_objects = rng.randint(25, 60)
-    n_snapshots = rng.randint(25, 45)
-    base = list(churn_stream(
-        n_objects, n_snapshots,
-        seed=rng.randrange(1 << 20),
-        eps=8.0,
-        churn=rng.choice([0.02, 0.05, 0.15]),
-        turnover=rng.choice([0.0, 0.05]),
-        area=12.0 * 8.0,
-    ))
-    if rng.random() < 0.5:
-        # Whole-tick gaps: the engine must sever chains during the
-        # buffered replay exactly as it does in order.
-        kept = [tick for tick in base if rng.random() > 0.15]
-        base = kept if len(kept) >= 5 else base
-    jitter = rng.randint(2, 6)
-    shuffled = list(jitter_ticks(
-        base, jitter, seed=rng.randrange(1 << 20)
-    ))
-    feed = []
-    for t, snapshot in shuffled:
-        if len(snapshot) >= 2 and rng.random() < 0.35:
-            # Split one report into two adjacent partial pushes for the
-            # same timestamp; the buffer's merge must reassemble them.
-            # The split keeps key order: snapshot key order is data (it
-            # seeds cluster creation order), so an order-scrambling merge
-            # can reorder same-tick emissions — see
-            # test_scrambled_duplicate_order_same_convoy_set for that.
-            items = list(snapshot.items())
-            cut = rng.randint(1, len(items) - 1)
-            feed.append((t, dict(items[:cut])))
-            feed.append((t, dict(items[cut:])))
-        else:
-            feed.append((t, dict(snapshot)))
-    # Jitter guarantees lateness strictly below `jitter`; max(jitter, 1)
-    # also keeps adjacent duplicate pushes safe from instant release.
-    return base, feed, max(jitter, 1)
-
-
 class TestStreamRestoration:
     @pytest.mark.parametrize("seed", range(12))
-    def test_reorder_ticks_restores_the_sorted_feed(self, seed):
+    def test_reorder_ticks_restores_the_sorted_feed(self, fuzz_workload,
+                                                    seed):
         base, feed, lateness = fuzz_workload(seed)
         restored = list(reorder_ticks(feed, allowed_lateness=lateness))
         assert restored == base
 
     @pytest.mark.parametrize("seed", range(4))
-    def test_restoration_survives_a_max_pending_cap(self, seed):
+    def test_restoration_survives_a_max_pending_cap(self, fuzz_workload,
+                                                    seed):
         """A capacity cap at least as deep as the watermark needs never
         forces an early release, so restoration is unchanged."""
         base, feed, lateness = fuzz_workload(seed)
@@ -134,7 +61,9 @@ class TestStreamRestoration:
 class TestConvoyEquivalence:
     @pytest.mark.parametrize("paper_semantics", SEMANTICS)
     @pytest.mark.parametrize("seed", range(8))
-    def test_all_pipelines_match_in_order_run(self, seed, paper_semantics):
+    def test_all_pipelines_match_in_order_run(self, make_miner,
+                                              fuzz_workload, seed,
+                                              paper_semantics):
         base, feed, lateness = fuzz_workload(seed)
         for pipeline in PIPELINES:
             plain = make_miner(pipeline, 3, 5, 8.0,
@@ -159,7 +88,8 @@ class TestConvoyEquivalence:
             assert buffered.counters["late_dropped"] == 0
 
     @pytest.mark.parametrize("seed", range(6))
-    def test_three_pipelines_agree_tick_for_tick(self, seed):
+    def test_three_pipelines_agree_tick_for_tick(self, make_miner,
+                                                 fuzz_workload, seed):
         """Beyond the final answer: at every push, the three buffered
         pipelines release the same ticks and emit the same convoys."""
         _base, feed, lateness = fuzz_workload(seed)
@@ -190,8 +120,9 @@ class TestConvoyEquivalence:
 
     @pytest.mark.parametrize("paper_semantics", SEMANTICS)
     @pytest.mark.parametrize("window", [5, 8])
-    def test_bounded_window_interacts_identically(self, paper_semantics,
-                                                  window):
+    def test_bounded_window_interacts_identically(self, make_miner,
+                                                  fuzz_workload,
+                                                  paper_semantics, window):
         """prune_longer_than() fires during buffered replay exactly as in
         order: fragments and their boundaries must not move."""
         base, feed, lateness = fuzz_workload(97)
@@ -217,7 +148,8 @@ class TestConvoyEquivalence:
             )
 
     @pytest.mark.parametrize("seed", range(4))
-    def test_scrambled_duplicate_order_same_convoy_set(self, seed):
+    def test_scrambled_duplicate_order_same_convoy_set(self, make_miner,
+                                                       fuzz_workload, seed):
         """Split reports whose parts arrive in scrambled key order can
         legitimately reorder same-tick emissions (snapshot key order
         seeds cluster creation order), but the *set* of convoys — the
@@ -249,7 +181,10 @@ class TestConvoyEquivalence:
         assert normalize_convoys(got) == normalize_convoys(expected)
 
     @pytest.mark.parametrize("seed", range(4))
-    def test_drop_policy_with_sufficient_lateness_never_drops(self, seed):
+    def test_drop_policy_with_sufficient_lateness_never_drops(self,
+                                                              make_miner,
+                                                              fuzz_workload,
+                                                              seed):
         """Within the watermark, the policies are indistinguishable: the
         drop policy must not fire and the answer must not move."""
         base, feed, lateness = fuzz_workload(seed)

@@ -3,6 +3,7 @@
 import json
 import time
 
+from benchmarks.bench_sharded_scaling import SMOKE_SCALE, run_grid
 from benchmarks.common import write_bench_json
 from repro.bench import PhaseTimer, format_series, format_table, time_call
 
@@ -131,3 +132,51 @@ class TestWriteBenchJson:
         # sort_keys=True makes diffs between artifact versions stable.
         assert text.index('"bench"') < text.index('"git_sha"')
         assert text.index('"git_sha"') < text.index('"params"')
+
+
+class TestShardedScalingBenchSchema:
+    """Schema guard for ``BENCH_sharded_scaling.json``: the trajectory
+    consumers key the scaling curve on these row fields, so the bench's
+    row shape is pinned here alongside the writer's envelope."""
+
+    #: Fields every sharded-scaling row must carry.
+    ROW_KEYS = {
+        "shards", "executor", "rate", "speedup_vs_unsharded", "convoys",
+        "peak_candidates", "sharded_candidates", "max_shard_batch",
+        "seconds",
+    }
+
+    def rows(self):
+        # One tiny serial-only cell keeps this a schema test, not a bench.
+        scale = dict(SMOKE_SCALE, n_snapshots=6, n_objects=60,
+                     group_count=10, group_size=5)
+        baseline, rows = run_grid(scale, ((2, "serial"),))
+        return baseline, rows
+
+    def test_row_fields_are_stable(self):
+        baseline, rows = self.rows()
+        assert set(baseline) == self.ROW_KEYS
+        for row in rows:
+            assert set(row) == self.ROW_KEYS
+            assert row["executor"] == "serial"
+            assert row["shards"] == 2
+            assert row["rate"] > 0
+            assert row["speedup_vs_unsharded"] > 0
+        assert baseline["executor"] == "unsharded"
+        assert baseline["shards"] == 0
+
+    def test_rows_round_trip_through_the_writer(self, tmp_path):
+        baseline, rows = self.rows()
+        path = tmp_path / "BENCH_sharded_scaling.json"
+        write_bench_json(
+            path, "sharded_scaling",
+            {"m": 3, "k": 8, "eps": 10.0, "smoke": True, "cores": 1},
+            [baseline] + rows,
+        )
+        with open(path) as handle:
+            loaded = json.load(handle)
+        assert loaded["bench"] == "sharded_scaling"
+        assert [row["executor"] for row in loaded["rows"]] == [
+            "unsharded", "serial"
+        ]
+        assert set(loaded["rows"][1]) == self.ROW_KEYS

@@ -1,6 +1,7 @@
 """Tests for the command-line interface."""
 
 import io
+import json
 
 import pytest
 
@@ -357,6 +358,124 @@ class TestStream:
         assert code == 2
         assert "bad query parameters" in text
         assert "allowed_lateness" in text
+
+
+class TestStreamSharding:
+    @pytest.mark.parametrize("executor", [None, "thread"])
+    def test_sharded_answer_matches_unsharded(self, convoy_csv, tmp_path,
+                                              executor):
+        base_out = tmp_path / "base.csv"
+        sharded_out = tmp_path / "sharded.csv"
+        code, _ = run_cli(
+            ["stream", str(convoy_csv), "-m", "2", "-k", "10", "-e", "2.0",
+             "--output", str(base_out)]
+        )
+        assert code == 0
+        argv = ["stream", str(convoy_csv), "-m", "2", "-k", "10",
+                "-e", "2.0", "--shards", "3", "--output", str(sharded_out)]
+        if executor is not None:
+            argv += ["--executor", executor]
+        code, text = run_cli(argv)
+        assert code == 0, text
+        assert "sharding:" in text
+        assert "3 shard(s)" in text
+        assert sharded_out.read_text() == base_out.read_text()
+
+    def test_executor_requires_shards(self, convoy_csv):
+        code, text = run_cli(
+            ["stream", str(convoy_csv), "-m", "2", "-k", "5", "-e", "2.0",
+             "--executor", "thread"]
+        )
+        assert code == 2
+        assert "--shards" in text
+
+    def test_rejects_bad_shard_count(self, convoy_csv):
+        code, text = run_cli(
+            ["stream", str(convoy_csv), "-m", "2", "-k", "5", "-e", "2.0",
+             "--shards", "0"]
+        )
+        assert code == 2
+        assert "bad query parameters" in text
+
+    def test_unsharded_run_prints_no_sharding_line(self, convoy_csv):
+        code, text = run_cli(
+            ["stream", str(convoy_csv), "-m", "2", "-k", "10", "-e", "2.0"]
+        )
+        assert code == 0
+        assert "sharding:" not in text
+
+
+class TestStreamJson:
+    def test_round_trip_matches_csv_answer(self, convoy_csv, tmp_path):
+        """The JSON artifact carries exactly the normalized CSV answer
+        plus the full counters dict."""
+        csv_out = tmp_path / "answer.csv"
+        json_out = tmp_path / "answer.json"
+        code, text = run_cli(
+            ["stream", str(convoy_csv), "-m", "2", "-k", "10", "-e", "2.0",
+             "--output", str(csv_out), "--json", str(json_out)]
+        )
+        assert code == 0
+        assert f"json answer written to {json_out}" in text
+        with open(json_out) as handle:
+            payload = json.load(handle)
+        assert set(payload) >= {"params", "convoys", "counters",
+                                "elapsed_seconds"}
+        assert payload["params"] == {
+            "m": 2, "k": 10, "eps": 2.0, "paper_semantics": False,
+            "window": None, "shards": None, "executor": None,
+        }
+        # Round trip: rebuild the CSV rows from the JSON convoys.
+        rebuilt = ["t_start,t_end,size,objects"]
+        for convoy in payload["convoys"]:
+            members = ";".join(convoy["objects"])
+            rebuilt.append(
+                f"{convoy['t_start']},{convoy['t_end']},"
+                f"{len(convoy['objects'])},{members}"
+            )
+        assert csv_out.read_text().splitlines() == rebuilt
+        # The counters are the miner's full shared dict.
+        assert payload["counters"]["snapshots"] == 20
+        assert payload["counters"]["convoys_emitted"] == 1
+
+    def test_json_includes_reorder_and_shard_counters(self, tmp_path):
+        json_out = tmp_path / "sharded.json"
+        code, _text = run_cli(
+            ["stream", "--synthetic", "40x20", "--seed", "3", "-m", "3",
+             "-k", "5", "-e", "10.0", "--quiet", "--jitter", "3",
+             "--allowed-lateness", "3", "--shards", "2", "--executor",
+             "serial", "--incremental", "--json", str(json_out)]
+        )
+        assert code == 0
+        with open(json_out) as handle:
+            payload = json.load(handle)
+        counters = payload["counters"]
+        # Reorder, shard, tracker, and engine keys all in one dict.
+        for key in ("reordered_snapshots", "late_dropped", "peak_pending",
+                    "shard_steps", "sharded_candidates", "max_shard_batch",
+                    "spliced_candidates", "snapshots"):
+            assert key in counters, key
+        assert payload["params"]["shards"] == 2
+        assert payload["params"]["executor"] == "serial"
+        assert counters["sharded_candidates"] >= 0
+        assert "clusterer_counters" in payload
+        assert payload["clusterer_counters"]["incremental_passes"] >= 0
+
+    def test_json_convoys_match_across_sharding(self, tmp_path):
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        for path, extra in ((a, []), (b, ["--shards", "4"])):
+            code, _ = run_cli(
+                ["stream", "--synthetic", "50x20", "--seed", "1",
+                 "-m", "3", "-k", "5", "-e", "10.0", "--quiet",
+                 "--json", str(path)] + extra
+            )
+            assert code == 0
+        with open(a) as handle:
+            plain = json.load(handle)
+        with open(b) as handle:
+            sharded = json.load(handle)
+        assert plain["convoys"] == sharded["convoys"]
 
 
 class TestStats:
