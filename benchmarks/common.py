@@ -18,6 +18,7 @@ every dataset's *shape* (see DESIGN.md §4 for the substitution argument).
 from __future__ import annotations
 
 import json
+import math
 import os
 import subprocess
 from functools import lru_cache
@@ -72,6 +73,32 @@ def git_sha():
     return sha if out.returncode == 0 and sha else "unknown"
 
 
+def safe_rate(count, seconds):
+    """``count / seconds`` as a finite float, or ``None``.
+
+    Tiny smoke runs can finish below the timer's resolution; dividing by
+    a zero ``seconds`` would put ``inf`` into a report or JSON payload
+    (``json.dump`` emits the non-standard ``Infinity`` token).  A rate
+    that cannot be measured is reported as ``None`` (JSON ``null``).
+    """
+    if seconds > 0:
+        rate = count / seconds
+        if math.isfinite(rate):
+            return rate
+    return None
+
+
+def _sanitize(value):
+    """Replace non-finite floats with None, recursively, copying as we go."""
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    if isinstance(value, dict):
+        return {key: _sanitize(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_sanitize(item) for item in value]
+    return value
+
+
 def write_bench_json(path, bench, params, rows):
     """Write one bench run as machine-readable JSON for the perf trajectory.
 
@@ -87,12 +114,16 @@ def write_bench_json(path, bench, params, rows):
             stream scale, smoke flag, ...).
         rows: list of dicts, one per measured configuration, carrying the
             bench's headline numbers (rates, speedups, counters).
+
+    Non-finite floats anywhere in ``params`` or ``rows`` are replaced by
+    ``None``: ``json.dump`` would otherwise emit non-standard tokens
+    (``Infinity``/``NaN``) that strict JSON consumers reject.
     """
     payload = {
         "bench": bench,
         "git_sha": git_sha(),
-        "params": dict(params),
-        "rows": [dict(row) for row in rows],
+        "params": _sanitize(dict(params)),
+        "rows": [_sanitize(dict(row)) for row in rows],
     }
     with open(path, "w") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)

@@ -25,6 +25,7 @@ import sys
 import time
 
 from repro.clustering.incremental import IncrementalSnapshotClusterer
+from repro.clustering.numeric import NUMERIC_BACKENDS
 from repro.core.cmc import cmc
 from repro.core.cuts import VARIANTS, cuts
 from repro.core.verification import normalize_convoys
@@ -143,6 +144,13 @@ def build_parser():
         "--executor", default=None, choices=sorted(BACKENDS),
         help="where the shard batches run (with --shards): inline, a "
         "thread pool, or a process pool (default: serial)",
+    )
+    stream.add_argument(
+        "--backend", default="python", choices=list(NUMERIC_BACKENDS),
+        help="numeric backend for the per-tick hot kernels: pure-Python "
+        "dict/set loops, or batched contiguous-array kernels "
+        "(numpy-accelerated when available; identical convoys either "
+        "way; default: python)",
     )
     stream.add_argument("--quiet", action="store_true",
                         help="suppress per-convoy lines; print the summary only")
@@ -282,7 +290,9 @@ def _cmd_stream(args, out):
         clusterer = None
         if args.incremental:
             if args.churn_threshold is None:
-                clusterer = IncrementalSnapshotClusterer(args.eps, args.m)
+                clusterer = IncrementalSnapshotClusterer(
+                    args.eps, args.m, backend=args.backend
+                )
             else:
                 threshold = args.churn_threshold
                 if threshold != "adaptive":
@@ -296,13 +306,14 @@ def _cmd_stream(args, out):
                         )
                         return 2
                 clusterer = IncrementalSnapshotClusterer(
-                    args.eps, args.m, churn_threshold=threshold
+                    args.eps, args.m, churn_threshold=threshold,
+                    backend=args.backend,
                 )
         miner = StreamingConvoyMiner(
             args.m, args.k, args.eps,
             paper_semantics=args.paper_semantics, window=args.window,
             clusterer=clusterer, reorder=reorder, shards=args.shards,
-            executor=args.executor,
+            executor=args.executor, backend=args.backend,
         )
     except ValueError as exc:
         print(f"bad query parameters: {exc}", file=out)
@@ -336,10 +347,14 @@ def _cmd_stream(args, out):
     if snapshots == 0:
         print("input contains no snapshots", file=out)
         return 1
-    rate = snapshots / elapsed if elapsed > 0 else float("inf")
+    # Tiny runs can finish below the timer's resolution; a rate computed
+    # from elapsed == 0 would print as "inf snapshots/s", so the rate is
+    # simply omitted when the measurement carries no information.
+    rate = snapshots / elapsed if elapsed > 0 else None
+    rate_text = f"{rate:.0f} snapshots/s, " if rate is not None else ""
     print(
         f"{len(convoys)} convoy(s) from {snapshots} snapshot(s) in "
-        f"{elapsed:.2f}s ({rate:.0f} snapshots/s, peak "
+        f"{elapsed:.2f}s ({rate_text}peak "
         f"{counters['peak_candidates']} candidate(s); {label}, "
         f"m={args.m}, k={args.k}, e={args.eps:g})",
         file=out,
@@ -411,6 +426,7 @@ def _write_answer_json(args, convoys, miner, elapsed):
             "window": args.window,
             "shards": args.shards,
             "executor": args.executor if args.shards is not None else None,
+            "backend": args.backend,
         },
         "elapsed_seconds": elapsed,
         "convoys": [

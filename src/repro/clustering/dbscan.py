@@ -11,9 +11,10 @@ from __future__ import annotations
 
 from repro.clustering.generic_dbscan import density_cluster
 from repro.clustering.grid_index import GridIndex
+from repro.clustering.numeric import VectorGridIndex, validate_backend
 
 
-def dbscan(points, eps, min_pts):
+def dbscan(points, eps, min_pts, backend="python"):
     """Cluster identified points by density connection.
 
     Args:
@@ -21,6 +22,15 @@ def dbscan(points, eps, min_pts):
         eps: the distance threshold ``e`` of the convoy query.
         min_pts: the ``m`` of the convoy query; an object is a core object
             when at least ``m`` objects (itself included) lie within ``e``.
+        backend: numeric backend for the neighbourhood queries —
+            ``"python"`` (default) walks the grid point by point through
+            :class:`~repro.clustering.grid_index.GridIndex`;
+            ``"vector"`` answers every point's eps-disk in one batched
+            pass over contiguous storage
+            (:class:`~repro.clustering.numeric.VectorGridIndex`).  The
+            clustering depends only on the neighbour *sets*, which both
+            backends compute identically, so the answer is bit-for-bit
+            the same.
 
     Returns:
         List of clusters, each a ``set`` of object ids; noise objects are in
@@ -28,14 +38,24 @@ def dbscan(points, eps, min_pts):
         members, because a cluster contains at least one core object and
         that object's entire neighbourhood.
     """
+    backend = validate_backend(backend)
     if eps <= 0:
         raise ValueError(f"eps must be positive, got {eps}")
     if not points:
         return []
     ids = list(points.keys())
-    index = GridIndex(eps, points)
     id_to_idx = {object_id: i for i, object_id in enumerate(ids)}
 
+    if backend == "vector":
+        index = VectorGridIndex(eps, points)
+        by_id = index.all_neighbors(eps)
+        lists = [
+            [id_to_idx[q] for q in by_id[object_id]] for object_id in ids
+        ]
+        clusters = density_cluster(len(ids), lists.__getitem__, min_pts)
+        return [{ids[i] for i in members} for members in clusters]
+
+    index = GridIndex(eps, points)
     cache = {}
 
     def neighbors_fn(item):

@@ -120,6 +120,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.clustering.incremental import UNCHANGED
+from repro.clustering.numeric import match_candidates_vector, validate_backend
 from repro.core.convoy import Convoy
 
 #: Counter keys a tracker maintains in its ``counters`` dict.
@@ -160,6 +161,18 @@ def match_candidates(members, jobs, min_objects):
                 matches.append((index, common))
         out.append((pos, matches))
     return out
+
+
+def resolve_match_kernel(backend):
+    """Map a numeric backend name to its matching kernel.
+
+    Module-level (hence picklable by reference): shard workers resolve
+    the kernel from the backend *name* shipped in their task, so the
+    task payload stays a plain data tuple.
+    """
+    if validate_backend(backend) == "vector":
+        return match_candidates_vector
+    return match_candidates
 
 
 @dataclass(frozen=True)
@@ -251,6 +264,12 @@ class CandidateTracker:
         counters: optional dict receiving bookkeeping totals (the
             ``COUNTER_KEYS``); a fresh dict is created when omitted and is
             always available as :attr:`counters`.
+        backend: numeric backend for the matching kernel — ``"python"``
+            (default) runs :func:`match_candidates`'s pairwise set
+            intersections; ``"vector"`` runs the batch join of
+            :func:`~repro.clustering.numeric.match_candidates_vector`.
+            Both produce identical matches, so the tracker's output is
+            bit-for-bit the same either way.
 
     Usage: call :meth:`advance` (or, with cluster diffs available,
     :meth:`advance_delta`) once per time step (or partition) with the
@@ -259,7 +278,9 @@ class CandidateTracker:
     """
 
     def __init__(self, min_objects, min_lifetime, paper_semantics=False,
-                 counters=None):
+                 counters=None, backend="python"):
+        self._numeric_backend = validate_backend(backend)
+        self._kernel = resolve_match_kernel(self._numeric_backend)
         if min_objects < 1:
             raise ValueError(f"m must be >= 1, got {min_objects}")
         if min_lifetime < 1:
@@ -309,7 +330,7 @@ class CandidateTracker:
         executor backends; result order is irrelevant (the caller keys by
         position), so any merge of the per-shard outputs is legal.
         """
-        return match_candidates(members, jobs, self._m)
+        return self._kernel(members, jobs, self._m)
 
     def advance(self, clusters, window_start, window_end):
         """Process one time step covering ``[window_start, window_end]``.

@@ -26,7 +26,8 @@ from repro.streaming.engine import StreamingConvoyMiner
 
 
 def cmc(database, m, k, eps, time_range=None, counters=None,
-        paper_semantics=False, allowed_at=None, clusterer=None):
+        paper_semantics=False, allowed_at=None, clusterer=None,
+        backend=None):
     """Run the CMC convoy-discovery algorithm.
 
     Args:
@@ -62,6 +63,10 @@ def cmc(database, m, k, eps, time_range=None, counters=None,
             re-intersection; a pre-built ``IncrementalSnapshotClusterer``
             instance (e.g. with an adaptive churn threshold) is accepted
             too.
+        backend: numeric backend for the per-snapshot hot kernels,
+            forwarded to the miner — ``None``/``"python"`` (default) or
+            ``"vector"`` (batched contiguous-array kernels, identical
+            answer; see :mod:`repro.clustering.numeric`).
 
     Returns:
         List of :class:`repro.core.convoy.Convoy`, in discovery order.
@@ -94,7 +99,7 @@ def cmc(database, m, k, eps, time_range=None, counters=None,
 
     miner = StreamingConvoyMiner(
         m, k, eps, paper_semantics=paper_semantics, counters=counters,
-        clusterer=clusterer,
+        clusterer=clusterer, backend=backend,
     )
     results = []
     for t in range(t_lo, t_hi + 1):

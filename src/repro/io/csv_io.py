@@ -52,6 +52,7 @@ def load_trajectories_csv(path, has_header="auto"):
     """
     path = Path(path)
     samples = {}
+    seen = {}  # (object_id, t) -> line that first provided the sample
     with path.open(newline="") as handle:
         reader = csv.reader(handle)
         rows = iter(reader)
@@ -67,17 +68,17 @@ def load_trajectories_csv(path, has_header="auto"):
         elif has_header:
             consume_first = False
         if consume_first:
-            _ingest_row(samples, first, line=1)
+            _ingest_row(samples, seen, first, line=1)
         for line, row in enumerate(rows, start=2):
             if row:
-                _ingest_row(samples, row, line)
+                _ingest_row(samples, seen, row, line)
     trajectories = [
         Trajectory(object_id, points) for object_id, points in samples.items()
     ]
     return TrajectoryDatabase(trajectories)
 
 
-def _ingest_row(samples, row, line):
+def _ingest_row(samples, seen, row, line):
     if len(row) != 4:
         raise ValueError(f"line {line}: expected 4 columns, got {len(row)}")
     object_id, t_raw, x_raw, y_raw = row
@@ -85,4 +86,14 @@ def _ingest_row(samples, row, line):
         point = TrajectoryPoint(float(x_raw), float(y_raw), int(t_raw))
     except ValueError as exc:
         raise ValueError(f"line {line}: {exc}") from None
+    # Duplicate (object, t) samples must fail here, with both file lines —
+    # left to Trajectory.__init__ the error would surface only after the
+    # whole file was read, with no way to say which rows collided.
+    key = (object_id, point.t)
+    previous = seen.setdefault(key, line)
+    if previous != line:
+        raise ValueError(
+            f"line {line}: duplicate sample for object {object_id!r} at "
+            f"t={point.t} (first given on line {previous})"
+        )
     samples.setdefault(object_id, []).append(point)

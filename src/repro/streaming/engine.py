@@ -62,6 +62,7 @@ O(live chains x window).
 from __future__ import annotations
 
 from repro.clustering.incremental import IncrementalSnapshotClusterer
+from repro.clustering.numeric import validate_backend
 from repro.core.candidates import CandidateTracker
 from repro.streaming.pipeline import (
     ClusterStage,
@@ -137,6 +138,16 @@ class StreamingConvoyMiner:
             backend object (see :mod:`repro.streaming.executor`).  Only
             meaningful with ``shards``; pooled backends are released by
             :meth:`flush`.
+        backend: numeric backend for the per-tick hot kernels —
+            ``"python"`` (default) or ``"vector"`` (contiguous-array
+            batch kernels, numpy-accelerated when numpy is importable;
+            see :mod:`repro.clustering.numeric`).  Threads through the
+            snapshot clustering (fresh DBSCAN or, with
+            ``clusterer="incremental"``, the incremental clusterer) and
+            the candidate tracker's matching kernel; emissions are
+            bit-for-bit identical either way.  A pre-built clusterer
+            instance keeps whatever backend it was constructed with.
+            Introspectable as :attr:`backend`.
 
     Usage::
 
@@ -155,7 +166,9 @@ class StreamingConvoyMiner:
 
     def __init__(self, m, k, eps, paper_semantics=False, window=None,
                  counters=None, clusterer=None, reorder=None, shards=None,
-                 executor=None):
+                 executor=None, backend=None):
+        #: The numeric backend driving the hot kernels ("python"/"vector").
+        self.backend = validate_backend(backend)
         if eps <= 0:
             raise ValueError(f"eps must be positive, got {eps}")
         if window is not None and window < k:
@@ -186,12 +199,13 @@ class StreamingConvoyMiner:
         if shards is None:
             tracker = CandidateTracker(
                 m, k, paper_semantics=paper_semantics,
-                counters=self.counters,
+                counters=self.counters, backend=self.backend,
             )
         else:
             tracker = ShardedCandidateTracker(
                 m, k, shards=shards, executor=executor,
                 paper_semantics=paper_semantics, counters=self.counters,
+                backend=self.backend,
             )
         self.shards = None if shards is None else int(shards)
         self._m = m
@@ -201,7 +215,9 @@ class StreamingConvoyMiner:
         if clusterer is None or clusterer == "full":
             self.clusterer = None
         elif clusterer == "incremental":
-            self.clusterer = IncrementalSnapshotClusterer(eps, m)
+            self.clusterer = IncrementalSnapshotClusterer(
+                eps, m, backend=self.backend
+            )
         elif callable(getattr(clusterer, "cluster", None)):
             self.clusterer = clusterer
         else:
@@ -213,7 +229,8 @@ class StreamingConvoyMiner:
         #: :mod:`repro.streaming.pipeline`.
         self.pipeline = StreamingPipeline(
             IngestStage(self.reorder),
-            ClusterStage(self.clusterer, eps, m, self.counters),
+            ClusterStage(self.clusterer, eps, m, self.counters,
+                         backend=self.backend),
             TrackStage(tracker, window),
             EmitStage(self.counters),
         )
@@ -277,7 +294,7 @@ class StreamingConvoyMiner:
 
 def mine_stream(source, m, k, eps, paper_semantics=False, window=None,
                 counters=None, clusterer=None, reorder=None, shards=None,
-                executor=None):
+                executor=None, backend=None):
     """Drive a :class:`StreamingConvoyMiner` over a snapshot source.
 
     Args:
@@ -289,7 +306,7 @@ def mine_stream(source, m, k, eps, paper_semantics=False, window=None,
             feeds of ``synthetic_stream(..., jitter=)``).
         m, k, eps: the convoy-query parameters.
         paper_semantics, window, counters, clusterer, reorder, shards,
-            executor: forwarded to the miner.
+            executor, backend: forwarded to the miner.
 
     Returns:
         List of :class:`~repro.core.convoy.Convoy` in discovery order,
@@ -298,7 +315,7 @@ def mine_stream(source, m, k, eps, paper_semantics=False, window=None,
     miner = StreamingConvoyMiner(
         m, k, eps, paper_semantics=paper_semantics, window=window,
         counters=counters, clusterer=clusterer, reorder=reorder,
-        shards=shards, executor=executor,
+        shards=shards, executor=executor, backend=backend,
     )
     convoys = []
     for t, snapshot in source:

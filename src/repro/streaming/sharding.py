@@ -36,7 +36,7 @@ from __future__ import annotations
 
 import hashlib
 
-from repro.core.candidates import CandidateTracker, match_candidates
+from repro.core.candidates import CandidateTracker, resolve_match_kernel
 from repro.streaming.executor import resolve_executor
 
 #: Counter keys a sharded tracker adds to its ``counters`` dict.
@@ -89,11 +89,13 @@ def _match_shard(task):
     """One shard batch: run the pure kernel over this shard's jobs.
 
     Module-level (hence picklable by reference) so process backends can
-    ship it; the payload is one chunk — the step's cluster member sets
-    plus the shard's candidate jobs — pickled as a single message.
+    ship it; the payload is one chunk — the step's cluster member sets,
+    the shard's candidate jobs, and the numeric backend *name* (the
+    worker resolves the kernel itself, so the task stays plain data) —
+    pickled as a single message.
     """
-    members, jobs, min_objects = task
-    return match_candidates(members, jobs, min_objects)
+    members, jobs, min_objects, backend = task
+    return resolve_match_kernel(backend)(members, jobs, min_objects)
 
 
 class ShardedCandidateTracker(CandidateTracker):
@@ -108,8 +110,10 @@ class ShardedCandidateTracker(CandidateTracker):
     adds the :data:`COUNTER_KEYS` bookkeeping.
 
     Args:
-        min_objects, min_lifetime, paper_semantics, counters: as for
-            :class:`~repro.core.candidates.CandidateTracker`.
+        min_objects, min_lifetime, paper_semantics, counters, backend:
+            as for :class:`~repro.core.candidates.CandidateTracker`
+            (``backend`` picks the numeric matching kernel the shard
+            workers run; identical matches either way).
         shards: number of partitions (``>= 1``; 1 still routes every
             batch through the backend, which is how the scaling bench
             isolates pure layer overhead).
@@ -123,10 +127,11 @@ class ShardedCandidateTracker(CandidateTracker):
     """
 
     def __init__(self, min_objects, min_lifetime, shards,
-                 executor="serial", paper_semantics=False, counters=None):
+                 executor="serial", paper_semantics=False, counters=None,
+                 backend="python"):
         super().__init__(
             min_objects, min_lifetime, paper_semantics=paper_semantics,
-            counters=counters,
+            counters=counters, backend=backend,
         )
         shards = int(shards)
         if shards < 1:
@@ -171,7 +176,8 @@ class ShardedCandidateTracker(CandidateTracker):
             pos = job[0]
             buckets[self._shard_for(pos, candidates[pos].support)].append(job)
         tasks = [
-            (members, bucket, self._m) for bucket in buckets if bucket
+            (members, bucket, self._m, self._numeric_backend)
+            for bucket in buckets if bucket
         ]
         self.counters["shard_steps"] += 1
         self.counters["sharded_candidates"] += len(jobs)

@@ -69,6 +69,34 @@ class TestErrors:
         with pytest.raises(ValueError, match="duplicate"):
             load_trajectories_csv(path, has_header=False)
 
+    def test_duplicate_error_names_both_lines(self, tmp_path):
+        """Load-time duplicates must point at both offending file lines —
+        the deferred Trajectory.__init__ error carried no line at all."""
+        path = tmp_path / "dup.csv"
+        path.write_text("a,0,1.0,2.0\nb,0,9.0,9.0\na,0,3.0,4.0\n")
+        with pytest.raises(ValueError, match=r"line 3.*'a'.*t=0.*line 1"):
+            load_trajectories_csv(path, has_header=False)
+
+    def test_duplicate_under_header_counts_file_lines(self, tmp_path):
+        path = tmp_path / "dup.csv"
+        path.write_text("object_id,t,x,y\na,7,1.0,2.0\na,7,3.0,4.0\n")
+        with pytest.raises(ValueError, match=r"line 3.*t=7.*line 2"):
+            load_trajectories_csv(path)
+
+    def test_duplicate_split_across_blank_row(self, tmp_path):
+        """A duplicate separated by a blank row used to slip through the
+        blank-line skip and only explode later inside Trajectory."""
+        path = tmp_path / "dup_blank.csv"
+        path.write_text("a,0,1.0,2.0\n\na,0,3.0,4.0\n")
+        with pytest.raises(ValueError, match=r"line 3.*duplicate.*line 1"):
+            load_trajectories_csv(path, has_header=False)
+
+    def test_same_time_different_objects_is_legal(self, tmp_path):
+        path = tmp_path / "ok.csv"
+        path.write_text("a,0,1.0,2.0\nb,0,3.0,4.0\n")
+        loaded = load_trajectories_csv(path, has_header=False)
+        assert len(loaded["a"]) == 1 and len(loaded["b"]) == 1
+
     def test_empty_file(self, tmp_path):
         path = tmp_path / "empty.csv"
         path.write_text("")

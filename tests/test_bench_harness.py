@@ -1,10 +1,12 @@
 """Tests for the bench harness (timers, report formatting, bench JSON)."""
 
 import json
+import math
 import time
 
 from benchmarks.bench_sharded_scaling import SMOKE_SCALE, run_grid
-from benchmarks.common import write_bench_json
+from benchmarks.bench_vector_kernel import run_all
+from benchmarks.common import safe_rate, write_bench_json
 from repro.bench import PhaseTimer, format_series, format_table, time_call
 
 
@@ -132,6 +134,91 @@ class TestWriteBenchJson:
         # sort_keys=True makes diffs between artifact versions stable.
         assert text.index('"bench"') < text.index('"git_sha"')
         assert text.index('"git_sha"') < text.index('"params"')
+
+
+class TestSafeRate:
+    """Tiny smoke runs can finish below the timer's resolution; no rate
+    derived from them may reach a report or JSON payload as ``inf``."""
+
+    def test_normal_division(self):
+        assert safe_rate(10, 2.0) == 5.0
+
+    def test_zero_elapsed_is_none(self):
+        assert safe_rate(10, 0.0) is None
+
+    def test_negative_elapsed_is_none(self):
+        assert safe_rate(10, -1.0) is None
+
+    def test_overflow_is_none(self):
+        assert safe_rate(1e308, 1e-308) is None
+
+    def test_nan_elapsed_is_none(self):
+        assert safe_rate(10, float("nan")) is None
+
+
+class TestNonFiniteSanitization:
+    """``json.dump`` happily emits the non-standard ``Infinity``/``NaN``
+    tokens; the writer must replace every non-finite float with null."""
+
+    def test_top_level_values(self, tmp_path):
+        path = tmp_path / "BENCH_inf.json"
+        write_bench_json(
+            path, "b", {"rate": float("inf")},
+            [{"x": float("nan"), "ok": 1.5}],
+        )
+        loaded = json.load(open(path))
+        assert loaded["params"]["rate"] is None
+        assert loaded["rows"][0]["x"] is None
+        assert loaded["rows"][0]["ok"] == 1.5
+
+    def test_nested_containers(self, tmp_path):
+        path = tmp_path / "BENCH_nested.json"
+        _payload = write_bench_json(
+            path, "b",
+            {"scale": {"rates": [1.0, float("-inf"), 2.0]}},
+            [{"inner": {"bad": float("nan")}}],
+        )
+        loaded = json.load(open(path))
+        assert loaded["params"]["scale"]["rates"] == [1.0, None, 2.0]
+        assert loaded["rows"][0]["inner"]["bad"] is None
+
+    def test_file_parses_under_strict_json(self, tmp_path):
+        path = tmp_path / "BENCH_strict.json"
+        write_bench_json(path, "b", {"r": float("inf")}, [])
+        # parse_constant raises on Infinity/NaN tokens — the file must
+        # never contain them.
+        def reject(token):
+            raise AssertionError(f"non-standard token {token!r} in JSON")
+        json.loads(path.read_text(), parse_constant=reject)
+
+
+class TestVectorKernelBenchSchema:
+    """Schema guard for ``BENCH_vector_kernel.json``: the trajectory
+    consumers chart the backend speedups keyed on these row fields."""
+
+    ROW_KEYS = {
+        "workload", "snapshots", "python_rate", "vector_rate", "speedup",
+        "python_seconds", "vector_seconds", "convoys",
+    }
+
+    def test_rows_are_stable_and_finite(self, tmp_path):
+        _scale, _churn, rows = run_all(smoke=True)
+        assert [row["workload"] for row in rows] == [
+            "tracker", "dbscan", "incremental"
+        ]
+        for row in rows:
+            assert set(row) == self.ROW_KEYS
+            assert row["snapshots"] > 0
+            for key in ("python_rate", "vector_rate", "speedup"):
+                value = row[key]
+                assert value is None or (
+                    isinstance(value, float) and math.isfinite(value)
+                )
+        path = tmp_path / "BENCH_vector_kernel.json"
+        write_bench_json(path, "vector_kernel", {"smoke": True}, rows)
+        loaded = json.load(open(path))
+        assert loaded["bench"] == "vector_kernel"
+        assert set(loaded["rows"][0]) == self.ROW_KEYS
 
 
 class TestShardedScalingBenchSchema:

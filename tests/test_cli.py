@@ -424,6 +424,7 @@ class TestStreamJson:
         assert payload["params"] == {
             "m": 2, "k": 10, "eps": 2.0, "paper_semantics": False,
             "window": None, "shards": None, "executor": None,
+            "backend": "python",
         }
         # Round trip: rebuild the CSV rows from the JSON convoys.
         rebuilt = ["t_start,t_end,size,objects"]
@@ -529,3 +530,60 @@ class TestGenerate:
         run_cli(["generate", "cattle", str(a), "--scale", "0.002", "--seed", "5"])
         run_cli(["generate", "cattle", str(b), "--scale", "0.002", "--seed", "5"])
         assert a.read_text() == b.read_text()
+
+
+class TestStreamBackend:
+    @pytest.mark.parametrize("backend", ["python", "vector"])
+    def test_backends_print_identical_convoys(self, convoy_csv, backend):
+        code, text = run_cli(
+            ["stream", str(convoy_csv), "-m", "2", "-k", "10", "-e", "2.0",
+             "--backend", backend]
+        )
+        assert code == 0
+        assert "1 convoy(s) from 20 snapshot(s)" in text
+        assert "objects=a,b" in text
+
+    def test_backend_threads_into_incremental_and_shards(self, tmp_path):
+        json_out = tmp_path / "vec.json"
+        code, _text = run_cli(
+            ["stream", "--synthetic", "40x20", "--seed", "3", "-m", "3",
+             "-k", "5", "-e", "10.0", "--quiet", "--incremental",
+             "--shards", "2", "--backend", "vector", "--json",
+             str(json_out)]
+        )
+        assert code == 0
+        with open(json_out) as handle:
+            assert json.load(handle)["params"]["backend"] == "vector"
+
+    def test_rejects_unknown_backend(self, convoy_csv):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["stream", str(convoy_csv), "-m", "2", "-k", "10",
+                 "-e", "2.0", "--backend", "fortran"]
+            )
+
+
+class TestStreamRateReporting:
+    def test_sub_resolution_elapsed_omits_rate(self, convoy_csv, monkeypatch):
+        """A run finishing below the timer's resolution must not print
+        'inf snapshots/s' — the rate is omitted, the count stays."""
+        import repro.cli as cli_module
+
+        monkeypatch.setattr(cli_module.time, "perf_counter", lambda: 42.0)
+        code, text = run_cli(
+            ["stream", str(convoy_csv), "-m", "2", "-k", "10", "-e", "2.0",
+             "--quiet"]
+        )
+        assert code == 0
+        assert "inf" not in text
+        assert "snapshots/s" not in text
+        assert "1 convoy(s) from 20 snapshot(s)" in text
+
+    def test_measurable_elapsed_prints_rate(self, convoy_csv):
+        code, text = run_cli(
+            ["stream", str(convoy_csv), "-m", "2", "-k", "10", "-e", "2.0",
+             "--quiet"]
+        )
+        assert code == 0
+        assert "snapshots/s" in text
+        assert "inf" not in text
