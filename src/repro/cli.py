@@ -146,6 +146,12 @@ def build_parser():
         "thread pool, or a process pool (default: serial)",
     )
     stream.add_argument(
+        "--resident", action="store_true",
+        help="keep each shard's candidate state inside a long-lived "
+        "worker and ship per-tick deltas instead of full shard batches "
+        "(with --shards; identical convoys)",
+    )
+    stream.add_argument(
         "--backend", default="python", choices=list(NUMERIC_BACKENDS),
         help="numeric backend for the per-tick hot kernels: pure-Python "
         "dict/set loops, or batched contiguous-array kernels "
@@ -271,6 +277,9 @@ def _cmd_stream(args, out):
     if args.executor is not None and args.shards is None:
         print("--executor only applies with --shards", file=out)
         return 2
+    if args.resident and args.shards is None:
+        print("--resident only applies with --shards", file=out)
+        return 2
     reorder = None
     if args.allowed_lateness is not None or args.max_pending is not None:
         reorder = dict(
@@ -313,34 +322,42 @@ def _cmd_stream(args, out):
             args.m, args.k, args.eps,
             paper_semantics=args.paper_semantics, window=args.window,
             clusterer=clusterer, reorder=reorder, shards=args.shards,
-            executor=args.executor, backend=args.backend,
+            executor=args.executor, resident=args.resident,
+            backend=args.backend,
         )
     except ValueError as exc:
         print(f"bad query parameters: {exc}", file=out)
         return 2
     convoys = []
     started = time.perf_counter()
-    try:
-        for t, snapshot in source:
-            for convoy in miner.feed(t, snapshot):
-                convoys.append(convoy)
-                if not args.quiet:
-                    members = ",".join(
-                        str(o) for o in sorted(convoy.objects, key=str)
-                    )
-                    print(f"  closed at t={t}: t=[{convoy.t_start},"
-                          f"{convoy.t_end}] objects={members}", file=out)
-    except ValueError as exc:
-        # A late snapshot under --late-policy raise (or a disordered feed
-        # with no reorder buffer at all) is an input contract violation.
-        print(f"stream error: {exc}", file=out)
-        return 1
-    for convoy in miner.flush():
-        convoys.append(convoy)
-        if not args.quiet:
-            members = ",".join(str(o) for o in sorted(convoy.objects, key=str))
-            print(f"  open at end of stream: t=[{convoy.t_start},"
-                  f"{convoy.t_end}] objects={members}", file=out)
+    # The context manager releases pooled executor backends on every exit
+    # path — including the stream-error return below, which used to leak
+    # a live process pool.
+    with miner:
+        try:
+            for t, snapshot in source:
+                for convoy in miner.feed(t, snapshot):
+                    convoys.append(convoy)
+                    if not args.quiet:
+                        members = ",".join(
+                            str(o) for o in sorted(convoy.objects, key=str)
+                        )
+                        print(f"  closed at t={t}: t=[{convoy.t_start},"
+                              f"{convoy.t_end}] objects={members}", file=out)
+        except ValueError as exc:
+            # A late snapshot under --late-policy raise (or a disordered
+            # feed with no reorder buffer at all) is an input contract
+            # violation.
+            print(f"stream error: {exc}", file=out)
+            return 1
+        for convoy in miner.flush():
+            convoys.append(convoy)
+            if not args.quiet:
+                members = ",".join(
+                    str(o) for o in sorted(convoy.objects, key=str)
+                )
+                print(f"  open at end of stream: t=[{convoy.t_start},"
+                      f"{convoy.t_end}] objects={members}", file=out)
     elapsed = time.perf_counter() - started
     counters = miner.counters
     snapshots = counters["snapshots"]
@@ -370,9 +387,10 @@ def _cmd_stream(args, out):
             file=out,
         )
     if miner.shards is not None:
+        mode = "resident " if args.resident else ""
         print(
             f"sharding: {counters['sharded_candidates']} candidate scan(s) "
-            f"across {miner.shards} shard(s) on the "
+            f"across {miner.shards} shard(s) on the {mode}"
             f"{args.executor or 'serial'} executor in "
             f"{counters['shard_steps']} sharded step(s), largest batch "
             f"{counters['max_shard_batch']}",
@@ -426,6 +444,7 @@ def _write_answer_json(args, convoys, miner, elapsed):
             "window": args.window,
             "shards": args.shards,
             "executor": args.executor if args.shards is not None else None,
+            "resident": bool(args.resident),
             "backend": args.backend,
         },
         "elapsed_seconds": elapsed,

@@ -113,6 +113,19 @@ overrides only ``_match_live`` — without moving a single report or
 survivor out of the classic deterministic order.  Splices and closes
 never leave the owning tracker: they are O(1) bookkeeping, and keeping
 them local is what makes the fan-out transparent.
+
+The apply pass can additionally narrate itself: with
+``_collect_provenance`` enabled the tracker records, per step, one event
+per *surviving* chain in exactly the new live-list order —
+``("splice", old_pos)`` for an O(1) splice-through,
+``("extend", old_pos, preserved)`` for a survivor born from a cluster
+scan (``preserved`` when the extension kept the parent's full member
+set, i.e. the chain continued rather than narrowed), and ``("seed",)``
+for a freshly seeded cluster.  Resident-mode sharding
+(:class:`repro.streaming.sharding.ShardedCandidateTracker` with a
+resident transport) replays that narration to assign stable chain ids
+and derive the put/drop deltas it ships to long-lived shard workers.
+The flag is off by default so the unsharded hot path records nothing.
 """
 
 from __future__ import annotations
@@ -290,6 +303,11 @@ class CandidateTracker:
         self._paper_semantics = paper_semantics
         self._candidates = []
         self._last_end = None
+        # Apply-pass narration (see module docstring): when enabled, every
+        # advance leaves one event per survivor, in new-live-list order,
+        # in `last_provenance`; the resident sharding layer consumes it.
+        self._collect_provenance = False
+        self.last_provenance = None
         self.counters = counters if counters is not None else {}
         for key in COUNTER_KEYS:
             self.counters.setdefault(key, 0)
@@ -364,6 +382,7 @@ class CandidateTracker:
         closed = []
         survivors = {}  # (objects, t_start) -> _Live
         extended = [False] * len(usable)
+        prov = [] if self._collect_provenance else None
         for pos, candidate in enumerate(self._candidates):
             assigned = False
             preserved = False  # some extension kept the full member set
@@ -386,6 +405,11 @@ class CandidateTracker:
                         (candidate.history, window_start, window_end,
                          usable[index]),
                     )
+                    if prov is not None:
+                        prov.append(
+                            ("extend", pos,
+                             len(common) == len(candidate.objects))
+                        )
             if self._paper_semantics:
                 report_run = not assigned
             else:
@@ -407,7 +431,11 @@ class CandidateTracker:
                         window_end,
                         (None, window_start, window_end, cluster),
                     )
+                    if prov is not None:
+                        prov.append(("seed",))
         self._candidates = list(survivors.values())
+        if prov is not None:
+            self.last_provenance = prov
         return closed
 
     def advance_delta(self, clusters, delta, window_start, window_end):
@@ -488,6 +516,7 @@ class CandidateTracker:
         closed = []
         survivors = {}  # (objects, t_start) -> _Live, in classic order
         extended = [False] * len(usable)
+        prov = [] if self._collect_provenance else None
         for pos, candidate in enumerate(self._candidates):
             unchanged_index = splice_at.get(pos)
             if unchanged_index is not None:
@@ -502,6 +531,8 @@ class CandidateTracker:
                          members[unchanged_index]),
                         support=candidate.support,
                     )
+                    if prov is not None:
+                        prov.append(("splice", pos))
                 continue
             assigned = False
             preserved = False
@@ -520,6 +551,11 @@ class CandidateTracker:
                          members[index]),
                         support=usable[index][1],
                     )
+                    if prov is not None:
+                        prov.append(
+                            ("extend", pos,
+                             len(common) == len(candidate.objects))
+                        )
             if self._paper_semantics:
                 report_run = not assigned
             else:
@@ -544,7 +580,11 @@ class CandidateTracker:
                         (None, window_start, window_end, cluster),
                         support=cid,
                     )
+                    if prov is not None:
+                        prov.append(("seed",))
         self._candidates = list(survivors.values())
+        if prov is not None:
+            self.last_provenance = prov
         return closed
 
     def prune_longer_than(self, max_lifetime):

@@ -25,7 +25,10 @@ semantics.
   partitioning live candidates by support-cluster id
   (``StreamingConvoyMiner(shards=N, executor=...)``);
 * :mod:`~repro.streaming.executor` — the pluggable backends the shard
-  batches run on (serial / thread / process);
+  batches run on (serial / thread / process), including the *resident*
+  transports (``StreamingConvoyMiner(..., resident=True)``) whose
+  long-lived workers hold shard state between ticks so only per-tick
+  deltas cross the boundary;
 * :mod:`~repro.streaming.source` — snapshot sources: database replay, CSV
   replay, and seeded synthetic generators for scale runs (with optional
   bounded ``jitter=`` to emulate shuffled GPS feeds, and a ``hotspots=``
@@ -41,9 +44,15 @@ from repro.streaming.engine import StreamingConvoyMiner, mine_stream
 from repro.streaming.executor import (
     BACKENDS,
     ProcessExecutor,
+    ResidentProcessExecutor,
+    ResidentSerialExecutor,
+    ResidentShardWorker,
+    ResidentThreadExecutor,
     SerialExecutor,
+    ShardWorkerCrashed,
     ThreadExecutor,
     resolve_executor,
+    resolve_resident_executor,
 )
 from repro.streaming.pipeline import (
     ClusterStage,
@@ -75,7 +84,12 @@ __all__ = [
     "LATE_POLICIES",
     "ProcessExecutor",
     "ReorderBuffer",
+    "ResidentProcessExecutor",
+    "ResidentSerialExecutor",
+    "ResidentShardWorker",
+    "ResidentThreadExecutor",
     "SerialExecutor",
+    "ShardWorkerCrashed",
     "ShardedCandidateTracker",
     "StreamingConvoyMiner",
     "StreamingPipeline",
@@ -90,5 +104,6 @@ __all__ = [
     "replay_csv",
     "replay_database",
     "resolve_executor",
+    "resolve_resident_executor",
     "synthetic_stream",
 ]

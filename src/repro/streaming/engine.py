@@ -138,6 +138,11 @@ class StreamingConvoyMiner:
             backend object (see :mod:`repro.streaming.executor`).  Only
             meaningful with ``shards``; pooled backends are released by
             :meth:`flush`.
+        resident: keep each shard's candidate state inside long-lived
+            workers and ship per-tick deltas instead of full shard
+            batches (see :mod:`repro.streaming.sharding`'s resident
+            protocol).  Only meaningful with ``shards``; emissions stay
+            bit-for-bit identical.
         backend: numeric backend for the per-tick hot kernels —
             ``"python"`` (default) or ``"vector"`` (contiguous-array
             batch kernels, numpy-accelerated when numpy is importable;
@@ -166,7 +171,7 @@ class StreamingConvoyMiner:
 
     def __init__(self, m, k, eps, paper_semantics=False, window=None,
                  counters=None, clusterer=None, reorder=None, shards=None,
-                 executor=None, backend=None):
+                 executor=None, resident=False, backend=None):
         #: The numeric backend driving the hot kernels ("python"/"vector").
         self.backend = validate_backend(backend)
         if eps <= 0:
@@ -178,6 +183,11 @@ class StreamingConvoyMiner:
                 "executor requires shards: pass shards=N to fan the "
                 "candidate tracker out (executor picks where the shard "
                 "batches run)"
+            )
+        if resident and shards is None:
+            raise ValueError(
+                "resident requires shards: pass shards=N to give the "
+                "long-lived workers a partition to hold"
             )
         self.counters = counters if counters is not None else {}
         for key in COUNTER_KEYS:
@@ -205,7 +215,7 @@ class StreamingConvoyMiner:
             tracker = ShardedCandidateTracker(
                 m, k, shards=shards, executor=executor,
                 paper_semantics=paper_semantics, counters=self.counters,
-                backend=self.backend,
+                backend=self.backend, resident=resident,
             )
         self.shards = None if shards is None else int(shards)
         self._m = m
@@ -291,10 +301,36 @@ class StreamingConvoyMiner:
         self._flushed = True
         return closed
 
+    def close(self):
+        """Release pooled resources (idempotent; emits nothing).
+
+        ``flush`` already releases the tracker's executor backend on the
+        happy path, but an exception mid-``feed`` (a late-policy
+        ``raise`` in the reorder buffer, a crashed shard worker) used to
+        leave a live process pool behind.  ``close`` exists for exactly
+        that path — and the miner is a context manager so callers get it
+        via ``with``::
+
+            with StreamingConvoyMiner(...) as miner:
+                ...
+
+        A closed-but-unflushed miner can still ``flush``: pooled
+        backends rebuild lazily (resident workers re-seed from the
+        parent's authoritative state), so ``close`` never loses chains.
+        """
+        self.pipeline.track.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback):
+        self.close()
+        return False
+
 
 def mine_stream(source, m, k, eps, paper_semantics=False, window=None,
                 counters=None, clusterer=None, reorder=None, shards=None,
-                executor=None, backend=None):
+                executor=None, resident=False, backend=None):
     """Drive a :class:`StreamingConvoyMiner` over a snapshot source.
 
     Args:
@@ -306,7 +342,7 @@ def mine_stream(source, m, k, eps, paper_semantics=False, window=None,
             feeds of ``synthetic_stream(..., jitter=)``).
         m, k, eps: the convoy-query parameters.
         paper_semantics, window, counters, clusterer, reorder, shards,
-            executor, backend: forwarded to the miner.
+            executor, resident, backend: forwarded to the miner.
 
     Returns:
         List of :class:`~repro.core.convoy.Convoy` in discovery order,
@@ -315,10 +351,14 @@ def mine_stream(source, m, k, eps, paper_semantics=False, window=None,
     miner = StreamingConvoyMiner(
         m, k, eps, paper_semantics=paper_semantics, window=window,
         counters=counters, clusterer=clusterer, reorder=reorder,
-        shards=shards, executor=executor, backend=backend,
+        shards=shards, executor=executor, resident=resident,
+        backend=backend,
     )
     convoys = []
-    for t, snapshot in source:
-        convoys.extend(miner.feed(t, snapshot))
-    convoys.extend(miner.flush())
+    # The context manager releases pooled backends even when the source
+    # or a shard worker raises mid-stream (the pool-leak regression).
+    with miner:
+        for t, snapshot in source:
+            convoys.extend(miner.feed(t, snapshot))
+        convoys.extend(miner.flush())
     return convoys

@@ -159,10 +159,16 @@ class TrackStage:
     def flush(self):
         """Close every remaining chain; release tracker resources."""
         records = self.tracker.flush()
+        self.close()
+        return records
+
+    def close(self):
+        """Release tracker resources without flushing (error paths: the
+        miner's ``close``/``__exit__`` reaches this so a failed run never
+        leaves an executor pool behind)."""
         close = getattr(self.tracker, "close", None)
         if close is not None:
             close()
-        return records
 
 
 class EmitStage:

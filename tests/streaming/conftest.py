@@ -47,7 +47,7 @@ class PipelineClusterOnly:
 
 def build_miner(pipeline, m, k, eps, *, paper_semantics=False, window=None,
                 reorder=None, shards=None, executor=None, backend=None,
-                **clusterer_kwargs):
+                resident=False, **clusterer_kwargs):
     """One :class:`StreamingConvoyMiner` for one named pipeline.
 
     ``backend`` (the numeric backend, "python"/"vector") is forwarded to
@@ -66,7 +66,7 @@ def build_miner(pipeline, m, k, eps, *, paper_semantics=False, window=None,
     return StreamingConvoyMiner(
         m, k, eps, paper_semantics=paper_semantics, window=window,
         clusterer=clusterer, reorder=reorder, shards=shards,
-        executor=executor, backend=backend,
+        executor=executor, backend=backend, resident=resident,
     )
 
 

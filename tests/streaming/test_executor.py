@@ -1,16 +1,32 @@
 """Unit tests for the executor backends and the sharding primitives."""
 
+import multiprocessing
+import os
+import signal
+import time
+
 import pytest
 
-from repro.core.candidates import match_candidates
+from repro.core.candidates import match_candidates, resolve_match_kernel
 from repro.streaming.executor import (
     BACKENDS,
     ProcessExecutor,
+    ResidentProcessExecutor,
+    ResidentProtocolError,
+    ResidentSerialExecutor,
+    ResidentShardWorker,
+    ResidentThreadExecutor,
     SerialExecutor,
+    ShardWorkerCrashed,
     ThreadExecutor,
     resolve_executor,
+    resolve_resident_executor,
 )
 from repro.streaming.sharding import rendezvous_shard
+
+#: Spawned workers re-import this module and must see the import-time
+#: value; a fork-started worker would inherit the parent's mutation.
+_SPAWN_CANARY = "import-time"
 
 
 def _double(x):
@@ -20,6 +36,11 @@ def _double(x):
 
 def _boom(_x):
     raise RuntimeError("worker failure")
+
+
+def _worker_identity(_task):
+    """Report the worker's process name and the module canary."""
+    return multiprocessing.current_process().name, _SPAWN_CANARY
 
 
 class TestBackendsBehaveIdentically:
@@ -107,6 +128,214 @@ class TestResolveExecutor:
     def test_process_chunksize_validated(self):
         with pytest.raises(ValueError, match="chunksize"):
             ProcessExecutor(chunksize=0)
+
+
+class TestProcessExecutorContext:
+    def test_workers_are_spawned_and_named(self):
+        """The pool pins an explicit spawn context (never the platform
+        default) and names its workers: a worker must report the
+        module's import-time canary — a fork child would inherit the
+        parent's mutation — and the initializer-set process name."""
+        global _SPAWN_CANARY
+        before = _SPAWN_CANARY
+        _SPAWN_CANARY = "parent-mutated"
+        backend = ProcessExecutor(max_workers=1)
+        try:
+            [(name, canary)] = backend.map(_worker_identity, [None])
+        finally:
+            backend.close()
+            _SPAWN_CANARY = before
+        assert name == "repro-shard-worker"
+        assert canary == "import-time"
+
+    def test_explicit_context_accepted(self):
+        backend = ProcessExecutor(max_workers=1, mp_context="spawn")
+        try:
+            assert backend.map(_double, [21]) == [42]
+        finally:
+            backend.close()
+
+    def test_alive_tracks_pool_lifetime(self):
+        backend = ProcessExecutor(max_workers=1)
+        assert not backend.alive
+        backend.map(_double, [1])
+        assert backend.alive
+        backend.close()
+        assert not backend.alive
+
+
+def _batches(shards=(0, 1)):
+    """One init + one step per shard: the protocol's real message shapes."""
+    members = [frozenset({"a", "b", "c"}), frozenset({"d", "e", "f"})]
+    out = []
+    for shard in shards:
+        out.append((shard, [
+            ("init", 2, "python",
+             [(10 + shard, frozenset({"a", "b", "x"})),
+              (20 + shard, frozenset({"d", "e"}))]),
+            ("step", members,
+             (("put", 30 + shard, frozenset({"a", "c"})),
+              ("drop", 20 + shard)),
+             ((0, 10 + shard, None), (1, 30 + shard, (0,)))),
+        ]))
+    return out
+
+
+#: Expected step responses for :func:`_batches` (shard-independent).
+_EXPECTED_STEP = ((0, (0,)), (1, (0,)))
+
+
+class TestResidentShardWorker:
+    def test_protocol_round_trip(self):
+        worker = ResidentShardWorker()
+        [(_, messages)] = _batches(shards=(0,))
+        assert worker.handle(messages[0]) == ("ok", 2)
+        assert worker.handle(messages[1]) == _EXPECTED_STEP
+        assert worker.handle(("snapshot",)) == {
+            10: frozenset({"a", "b", "x"}),
+            30: frozenset({"a", "c"}),
+        }
+        pid, name, kernel, population = worker.handle(("probe",))
+        assert pid == os.getpid()
+        assert kernel == resolve_match_kernel("python").__name__
+        assert population == 2
+
+    def test_init_replaces_state_wholesale(self):
+        worker = ResidentShardWorker()
+        worker.handle(("init", 2, "python", [(1, frozenset({"a", "b"}))]))
+        worker.handle(("init", 2, "python", [(2, frozenset({"c", "d"}))]))
+        assert worker.handle(("snapshot",)) == {2: frozenset({"c", "d"})}
+
+    def test_strict_validation(self):
+        worker = ResidentShardWorker()
+        with pytest.raises(ResidentProtocolError, match="before init"):
+            worker.handle(("step", [frozenset({"a", "b"})], (),
+                           ((0, 1, None),)))
+        worker.handle(("init", 2, "python", []))
+        with pytest.raises(ResidentProtocolError, match="unknown chain"):
+            worker.handle(("step", (), (("drop", 7),), ()))
+        with pytest.raises(ResidentProtocolError, match="unknown chain"):
+            worker.handle(("step", [frozenset({"a", "b"})], (),
+                           ((0, 99, None),)))
+        with pytest.raises(ResidentProtocolError, match="unknown delta op"):
+            worker.handle(("step", (), (("merge", 1, 2),), ()))
+        with pytest.raises(ResidentProtocolError, match="unknown resident"):
+            worker.handle(("rebalance",))
+
+
+class TestResidentTransports:
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_transports_agree_on_the_protocol(self, name):
+        backend = resolve_resident_executor(name)
+        try:
+            responses = backend.run(_batches())
+        finally:
+            backend.close()
+        assert responses == [
+            [("ok", 2), _EXPECTED_STEP],
+            [("ok", 2), _EXPECTED_STEP],
+        ]
+
+    @pytest.mark.parametrize("name", ["serial", "thread"])
+    def test_state_persists_across_runs(self, name):
+        backend = resolve_resident_executor(name)
+        try:
+            backend.run([(0, [("init", 2, "python",
+                               [(1, frozenset({"a", "b"}))])])])
+            [[snapshot]] = backend.run([(0, [("snapshot",)])])
+            assert snapshot == {1: frozenset({"a", "b"})}
+        finally:
+            backend.close()
+
+    @pytest.mark.parametrize("name", ["serial", "thread"])
+    def test_generation_bumps_on_restart_and_close(self, name):
+        backend = resolve_resident_executor(name)
+        try:
+            gen = backend.generation(3)
+            assert backend.generation(3) == gen
+            backend.restart(3)
+            assert backend.generation(3) == gen + 1
+            backend.close()
+            assert backend.generation(3) == gen + 2
+        finally:
+            backend.close()
+
+    def test_resolve_resident_executor(self):
+        assert isinstance(resolve_resident_executor(None),
+                          ResidentSerialExecutor)
+        assert isinstance(resolve_resident_executor("thread"),
+                          ResidentThreadExecutor)
+        assert isinstance(resolve_resident_executor("process"),
+                          ResidentProcessExecutor)
+
+        class Custom:
+            def run(self, batches):
+                return []
+
+            def generation(self, shard):
+                return 0
+
+            def close(self):
+                pass
+
+        custom = Custom()
+        assert resolve_resident_executor(custom) is custom
+        # A map-shaped (stateless) backend is not a resident transport.
+        with pytest.raises(ValueError, match="resident executor"):
+            resolve_resident_executor(SerialExecutor())
+        with pytest.raises(ValueError, match="resident executor"):
+            resolve_resident_executor("gpu")
+
+
+class TestResidentProcessExecutor:
+    """The spawned per-shard pools: state residency, kernel resolution
+    from the backend *name*, crash semantics.  One class so the
+    expensive pool startups stay few."""
+
+    def test_state_resides_in_a_named_spawned_worker(self):
+        backend = ResidentProcessExecutor()
+        try:
+            backend.run([(0, [("init", 2, "vector",
+                               [(1, frozenset({"a", "b"}))])])])
+            pid, name, kernel, population = backend.probe(0)
+            # Real process residency, not an in-process fallback.
+            assert pid != os.getpid()
+            assert name == "repro-resident-shard-0"
+            # The worker resolved its kernel from the backend name
+            # shipped in init — the spawned process imported and chose
+            # the vector kernel itself (nothing callable was pickled).
+            assert kernel == resolve_match_kernel("vector").__name__
+            assert population == 1
+            # Same worker, same state, next round trip.
+            [[snapshot]] = backend.run([(0, [("snapshot",)])])
+            assert snapshot == {1: frozenset({"a", "b"})}
+        finally:
+            backend.close()
+        assert not backend.alive
+
+    def test_worker_crash_is_named_and_recoverable(self):
+        backend = ResidentProcessExecutor()
+        try:
+            gen = backend.generation(0)
+            backend.run([(0, [("init", 2, "python",
+                               [(1, frozenset({"a", "b"}))])])])
+            pid, _name, _kernel, _population = backend.probe(0)
+            os.kill(pid, signal.SIGKILL)
+            deadline = time.monotonic() + 30.0
+            with pytest.raises(ShardWorkerCrashed, match="shard 0") as info:
+                backend.run([(0, [("snapshot",)])])
+            # Promptly, not a hang (generous CI allowance).
+            assert time.monotonic() < deadline
+            assert info.value.shard == 0
+            # The broken pool is gone; close still succeeds.
+            backend.close()
+            # A fresh use rebuilds the pool under a new generation, so
+            # the tracker knows to re-seed the worker's state.
+            assert backend.generation(0) > gen
+            responses = backend.run(_batches(shards=(0,)))
+            assert responses == [[("ok", 2), _EXPECTED_STEP]]
+        finally:
+            backend.close()
 
 
 class TestRendezvousShard:

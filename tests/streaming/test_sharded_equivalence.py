@@ -18,7 +18,12 @@ flush, same live candidate sets, same shared counters — across:
   (``churn_stream(hotspots=)``), and jittered feeds through a reorder
   buffer;
 * sharded *ingestion*: per-shard reorder buffers merged through a
-  :class:`~repro.streaming.WatermarkFrontier` feeding a sharded miner.
+  :class:`~repro.streaming.WatermarkFrontier` feeding a sharded miner;
+* *resident* mode (``resident=True``): shard state held inside
+  long-lived workers fed per-tick deltas, on all three resident
+  transports — including mid-run worker restarts (the generation
+  re-seed path) and shard-state snapshots checked against the parent's
+  authoritative view.
 
 Counter note: keys shared with the unsharded run (``advance_steps``,
 ``delta_steps``, ``spliced_candidates``, ``reintersected_candidates``,
@@ -170,6 +175,148 @@ class TestPooledExecutors:
             make_miner("full", 3, 5, 8.0, window=6, shards=2,
                        executor="process"),
         )
+
+
+class TestResidentTransports:
+    """Resident mode == stateless sharded == unsharded, bit for bit.
+
+    Resident workers hold their shard's candidate sets between ticks
+    and are fed only deltas; nothing observable may move.  The serial
+    resident transport runs the protocol in-process, so the full
+    pipeline/semantics/shard-count matrix is cheap; thread and process
+    transports get representative configurations (their cost is pool
+    startup, not coverage)."""
+
+    @pytest.mark.parametrize("paper_semantics", SEMANTICS)
+    @pytest.mark.parametrize("pipeline", PIPELINES)
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    def test_resident_serial_churn(self, make_miner, pipeline, shards,
+                                   paper_semantics):
+        ticks = list(churn_stream(80, 40, seed=61, eps=8.0, churn=0.1,
+                                  turnover=0.03, area=96.0))
+        _base, resident = run_lockstep_pair(
+            ticks,
+            make_miner(pipeline, 3, 5, 8.0,
+                       paper_semantics=paper_semantics),
+            make_miner(pipeline, 3, 5, 8.0,
+                       paper_semantics=paper_semantics,
+                       shards=shards, executor="serial", resident=True),
+        )
+        # Every touched worker was seeded exactly once (no mid-run
+        # re-seeds without a restart: deltas alone kept it current).
+        inits = resident.counters["resident_inits"]
+        assert 1 <= inits <= shards
+
+    def test_resident_matches_stateless_sharded(self, make_miner):
+        """Resident and stateless sharded trackers agree directly, not
+        just transitively through the unsharded engine."""
+        ticks = list(churn_stream(70, 35, seed=73, eps=8.0, churn=0.12,
+                                  turnover=0.02, area=96.0))
+        run_lockstep_pair(
+            ticks,
+            make_miner("delta", 3, 5, 8.0, shards=3, executor="serial"),
+            make_miner("delta", 3, 5, 8.0, shards=3, executor="serial",
+                       resident=True),
+        )
+
+    @pytest.mark.parametrize("pipeline", PIPELINES)
+    def test_resident_gaps_and_window(self, make_miner, pipeline):
+        """Gap severing, pruning re-seeds, and support resets all churn
+        the resident chain ids; the delta stream must track them."""
+        ticks = [
+            (t, snapshot)
+            for t, snapshot in churn_stream(70, 45, seed=67, eps=8.0,
+                                            churn=0.08, turnover=0.02,
+                                            area=96.0)
+            if t % 11 != 7
+        ]
+        run_lockstep_pair(
+            ticks,
+            make_miner(pipeline, 3, 5, 8.0, window=7),
+            make_miner(pipeline, 3, 5, 8.0, window=7, shards=3,
+                       executor="serial", resident=True),
+        )
+
+    def test_resident_thread(self, make_miner):
+        ticks = list(churn_stream(70, 35, seed=73, eps=8.0, churn=0.12,
+                                  turnover=0.02, area=96.0))
+        run_lockstep_pair(
+            ticks,
+            make_miner("delta", 3, 5, 8.0),
+            make_miner("delta", 3, 5, 8.0, shards=4, executor="thread",
+                       resident=True),
+        )
+
+    def test_resident_process(self, make_miner):
+        """Long-lived spawned workers fed deltas across the pickle
+        boundary, with the vector kernel resolved from its name inside
+        the workers: the round trip loses nothing."""
+        ticks = list(churn_stream(60, 25, seed=79, eps=8.0, churn=0.12,
+                                  area=96.0))
+        run_lockstep_pair(
+            ticks,
+            make_miner("delta", 3, 5, 8.0, backend="vector"),
+            make_miner("delta", 3, 5, 8.0, backend="vector", shards=2,
+                       executor="process", resident=True),
+        )
+
+    def test_resident_jittered_reorder(self, make_miner, fuzz_workload):
+        base_ticks, feed, lateness = fuzz_workload(2)
+        plain = make_miner("delta", 3, 5, 8.0)
+        expected = []
+        for t, snapshot in base_ticks:
+            expected.extend(plain.feed(t, dict(snapshot)))
+        expected.extend(plain.flush())
+        resident = make_miner(
+            "delta", 3, 5, 8.0, reorder=dict(allowed_lateness=lateness),
+            shards=3, executor="serial", resident=True,
+        )
+        got = []
+        for t, snapshot in feed:
+            got.extend(resident.feed(t, snapshot))
+        got.extend(resident.flush())
+        assert got == expected
+
+    @pytest.mark.parametrize("executor", ["serial", "process"])
+    def test_mid_run_restart_recovers(self, make_miner, executor):
+        """Killing a resident worker mid-run must only cost a re-seed:
+        the generation bump triggers a full init from the parent's
+        authoritative state and the run stays bit-for-bit equal."""
+        ticks = list(churn_stream(60, 30, seed=91, eps=8.0, churn=0.12,
+                                  turnover=0.02, area=96.0))
+        base = make_miner("delta", 3, 5, 8.0)
+        resident = make_miner("delta", 3, 5, 8.0, shards=2,
+                              executor=executor, resident=True)
+        tracker = resident.pipeline.track.tracker
+        with base, resident:
+            for t, snapshot in ticks:
+                if t in (10, 20):
+                    tracker.executor.restart(t % tracker.shards)
+                expected = base.feed(t, dict(snapshot))
+                assert resident.feed(t, dict(snapshot)) == expected
+            assert resident.flush() == base.flush()
+        # Initial seeds plus one re-seed per restarted shard.
+        assert resident.counters["resident_inits"] >= 3
+
+    def test_shard_snapshot_matches_parent_view(self, make_miner):
+        """Mid-run and at the end, draining a shard's resident state
+        returns exactly the parent's authoritative {chain: objects}
+        view — the rebalancer's read side."""
+        ticks = list(churn_stream(60, 24, seed=95, eps=8.0, churn=0.12,
+                                  area=96.0))
+        resident = make_miner("delta", 3, 5, 8.0, shards=3,
+                              executor="serial", resident=True)
+        tracker = resident.pipeline.track.tracker
+        checked = 0
+        with resident:
+            for t, snapshot in ticks:
+                resident.feed(t, dict(snapshot))
+                if t % 6 == 5:
+                    for shard in range(tracker.shards):
+                        assert (tracker.snapshot_shard(shard)
+                                == tracker.expected_shard_state(shard))
+                        checked += 1
+        assert checked > 0
 
 
 class TestJitteredFeeds:

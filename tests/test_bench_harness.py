@@ -4,7 +4,11 @@ import json
 import math
 import time
 
-from benchmarks.bench_sharded_scaling import SMOKE_SCALE, run_grid
+from benchmarks.bench_sharded_scaling import (
+    SMOKE_SCALE,
+    run_bytes,
+    run_grid,
+)
 from benchmarks.bench_vector_kernel import run_all
 from benchmarks.common import safe_rate, write_bench_json
 from repro.bench import PhaseTimer, format_series, format_table, time_call
@@ -228,16 +232,21 @@ class TestShardedScalingBenchSchema:
 
     #: Fields every sharded-scaling row must carry.
     ROW_KEYS = {
-        "shards", "executor", "rate", "speedup_vs_unsharded", "convoys",
-        "peak_candidates", "sharded_candidates", "max_shard_batch",
-        "seconds",
+        "shards", "executor", "resident", "workload", "rate",
+        "speedup_vs_unsharded", "convoys", "peak_candidates",
+        "sharded_candidates", "max_shard_batch", "seconds",
+        "shipped_bytes_per_tick", "result_bytes_per_tick",
+        "payload_bytes_per_tick", "payload_reduction",
     }
 
     def rows(self):
-        # One tiny serial-only cell keeps this a schema test, not a bench.
+        # Tiny serial-only cells keep this a schema test, not a bench;
+        # the legacy 2-tuple cell pins the grid-cell normalization.
         scale = dict(SMOKE_SCALE, n_snapshots=6, n_objects=60,
                      group_count=10, group_size=5)
-        baseline, rows = run_grid(scale, ((2, "serial"),))
+        baseline, rows = run_grid(
+            scale, ((2, "serial"), (2, "serial", True))
+        )
         return baseline, rows
 
     def test_row_fields_are_stable(self):
@@ -249,8 +258,33 @@ class TestShardedScalingBenchSchema:
             assert row["shards"] == 2
             assert row["rate"] > 0
             assert row["speedup_vs_unsharded"] > 0
+            # Timing rows carry no byte accounting.
+            assert row["payload_bytes_per_tick"] is None
+        assert [row["resident"] for row in rows] == [False, True]
         assert baseline["executor"] == "unsharded"
         assert baseline["shards"] == 0
+        assert baseline["resident"] is False
+
+    def test_byte_pass_rows(self):
+        """The byte pass emits a stateless and a resident row with the
+        pickled-payload fields filled in and the reduction on the
+        resident row (the ≥5x bar itself is asserted by the bench on
+        its real workload scales, not this tiny one)."""
+        scale = dict(n_groups=12, group_size=6, n_snapshots=8,
+                     dirty_groups=1)
+        rows, reduction = run_bytes(scale)
+        assert [row["resident"] for row in rows] == [False, True]
+        for row in rows:
+            assert set(row) == self.ROW_KEYS
+            assert row["workload"] == "group swap"
+            assert row["shipped_bytes_per_tick"] > 0
+            assert row["result_bytes_per_tick"] >= 0
+            assert row["payload_bytes_per_tick"] == (
+                row["shipped_bytes_per_tick"] + row["result_bytes_per_tick"]
+            )
+        assert rows[0]["payload_reduction"] is None
+        assert rows[1]["payload_reduction"] == reduction
+        assert reduction > 0
 
     def test_rows_round_trip_through_the_writer(self, tmp_path):
         baseline, rows = self.rows()
@@ -264,6 +298,6 @@ class TestShardedScalingBenchSchema:
             loaded = json.load(handle)
         assert loaded["bench"] == "sharded_scaling"
         assert [row["executor"] for row in loaded["rows"]] == [
-            "unsharded", "serial"
+            "unsharded", "serial", "serial"
         ]
         assert set(loaded["rows"][1]) == self.ROW_KEYS

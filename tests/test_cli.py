@@ -404,6 +404,43 @@ class TestStreamSharding:
         assert code == 0
         assert "sharding:" not in text
 
+    @pytest.mark.parametrize("executor", [None, "process"])
+    def test_resident_answer_matches_unsharded(self, convoy_csv, tmp_path,
+                                               executor):
+        """Resident mode through the CLI: identical convoys, the
+        resident marker in the sharding summary, and the flag recorded
+        in the JSON params."""
+        base_out = tmp_path / "base.csv"
+        resident_out = tmp_path / "resident.csv"
+        json_out = tmp_path / "resident.json"
+        code, _ = run_cli(
+            ["stream", str(convoy_csv), "-m", "2", "-k", "10", "-e", "2.0",
+             "--output", str(base_out)]
+        )
+        assert code == 0
+        argv = ["stream", str(convoy_csv), "-m", "2", "-k", "10",
+                "-e", "2.0", "--shards", "3", "--resident",
+                "--output", str(resident_out), "--json", str(json_out)]
+        if executor is not None:
+            argv += ["--executor", executor]
+        code, text = run_cli(argv)
+        assert code == 0, text
+        assert "sharding:" in text
+        assert "resident" in text
+        assert resident_out.read_text() == base_out.read_text()
+        with open(json_out) as handle:
+            payload = json.load(handle)
+        assert payload["params"]["resident"] is True
+        assert payload["counters"]["resident_inits"] >= 1
+
+    def test_resident_requires_shards(self, convoy_csv):
+        code, text = run_cli(
+            ["stream", str(convoy_csv), "-m", "2", "-k", "5", "-e", "2.0",
+             "--resident"]
+        )
+        assert code == 2
+        assert "--shards" in text
+
 
 class TestStreamJson:
     def test_round_trip_matches_csv_answer(self, convoy_csv, tmp_path):
@@ -424,7 +461,7 @@ class TestStreamJson:
         assert payload["params"] == {
             "m": 2, "k": 10, "eps": 2.0, "paper_semantics": False,
             "window": None, "shards": None, "executor": None,
-            "backend": "python",
+            "backend": "python", "resident": False,
         }
         # Round trip: rebuild the CSV rows from the JSON convoys.
         rebuilt = ["t_start,t_end,size,objects"]
