@@ -519,6 +519,7 @@ def _sorted_codes(objects, code_of, all_known):
         return np.fromiter(values, dtype=np.int64, count=len(values))
     return values
 
+
 def _merge_intersect_size(left, right):
     """|left ∩ right| for two sorted unique int-id arrays."""
     if np is not None:
