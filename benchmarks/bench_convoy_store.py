@@ -1,0 +1,334 @@
+"""Convoy store — write-through overhead and indexed-vs-scan speedup.
+
+The persistent store may exist only if it is (a) nearly free to keep in
+the mining loop and (b) actually faster to *ask* than the list it
+replaced.  This bench gates both:
+
+* **Write pass** — a planted-groups stream (jittered, so convoys sever
+  and close mid-stream, not just at flush) is mined plain and with
+  ``store=``.  Emissions are asserted identical.  The store run's sink
+  calls (``observe``/``write``/``commit`` — position log, bbox replay,
+  per-tick transaction) are timed *in-run*, and the overhead is their
+  share of the same run's mining time: ``sink / (total - sink)``, best
+  of reps, asserted under ``OVERHEAD_BAR`` (<15%).  Same-run accounting
+  is used because both terms come from one process run, so host-speed
+  drift between runs cancels out — a cross-run wall-clock diff on a
+  noisy CI box swings wider than the bar itself.  The plain run's
+  wall clock is still recorded alongside for the trajectory.
+* **Query pass** — a synthetic population (10^4 smoke / 10^5 full
+  convoys, bulk-inserted in batches) answers a fixed set of narrow
+  ``alive_in`` windows twice: through the interval index
+  (bounded-extent narrowing) and with ``force_scan=True`` (``NOT
+  INDEXED`` + external sort — the same SQL predicate, the pre-store
+  answer's honest stand-in).  Both plans' results are asserted equal
+  row for row, and the indexed plan must be at least ``SPEEDUP_BAR``
+  (10x) faster.  ``top_k(k=10)`` is timed on the same population for
+  the trajectory (lazy heap merge; recorded, not gated).
+
+Run ``python benchmarks/bench_convoy_store.py`` for the table,
+``--smoke`` for a seconds-long CI-sized run (both bars still asserted),
+and ``--json PATH`` for the machine-readable record CI uploads as a
+perf-trajectory artifact (``BENCH_convoy_store.json``).
+"""
+
+import argparse
+import random
+import tempfile
+import time
+from pathlib import Path
+
+from benchmarks.common import print_report, safe_rate, write_bench_json
+from repro.bench import format_table
+from repro.core.convoy import Convoy
+from repro.geometry.bbox import BoundingBox
+from repro.store import SQLiteConvoyStore, convoy_identity
+from repro.streaming import StreamingConvoyMiner, synthetic_stream
+
+M, K, EPS = 5, 8, 8.0
+
+#: Write-through sink share of the mining run that fails the bench.
+OVERHEAD_BAR = 0.15
+#: Minimum indexed-vs-forced-scan speedup on the alive_in window set.
+SPEEDUP_BAR = 10.0
+
+WRITE_FULL_SCALE = dict(n_objects=250, n_snapshots=80, group_count=16,
+                        group_size=7, jitter=0.5, reps=3)
+WRITE_SMOKE_SCALE = dict(n_objects=200, n_snapshots=60, group_count=12,
+                         group_size=7, jitter=0.3, reps=3)
+
+#: Query-pass population: convoy count, time-domain length (kept
+#: proportional so the alive fraction per window — and thus the
+#: speedup — is scale-stable), max lifetime, windows asked, window
+#: width, and timing repetitions.
+QUERY_FULL_SCALE = dict(population=100_000, domain=400_000, max_life=30,
+                        windows=40, width=4, reps=3)
+QUERY_SMOKE_SCALE = dict(population=10_000, domain=40_000, max_life=30,
+                         windows=40, width=4, reps=3)
+
+#: Bulk-insert transaction size for the query-pass population.
+INSERT_CHUNK = 5_000
+
+ROW_KEYS = (
+    "pass", "mode", "snapshots", "convoys", "stored", "population",
+    "windows", "seconds", "sink_seconds", "rate", "write_overhead",
+    "speedup_vs_scan",
+)
+
+
+def _row(**fields):
+    row = dict.fromkeys(ROW_KEYS)
+    row.update(fields)
+    return row
+
+
+def _instrument_sink(miner):
+    """Shadow the sink's entry points with timing wrappers; returns the
+    accumulator (one-element list, read after the run)."""
+    sink = miner.pipeline.emit.sink
+    spent = [0.0]
+
+    def timed(method):
+        def inner(*args, **kwargs):
+            started = time.perf_counter()
+            try:
+                return method(*args, **kwargs)
+            finally:
+                spent[0] += time.perf_counter() - started
+        return inner
+
+    for name in ("observe", "write", "commit", "close"):
+        setattr(sink, name, timed(getattr(sink, name)))
+    return spent
+
+
+def _mine(ticks, store_path=None):
+    """One full mining run; returns (emissions, counters, total seconds,
+    seconds spent inside the store sink)."""
+    counters = {}
+    miner = StreamingConvoyMiner(M, K, EPS, counters=counters,
+                                 store=store_path)
+    sink_spent = _instrument_sink(miner) if store_path else [0.0]
+    emitted = []
+    started = time.perf_counter()
+    with miner:
+        for t, snapshot in ticks:
+            emitted.extend(miner.feed(t, snapshot))
+        emitted.extend(miner.flush())
+    total = time.perf_counter() - started
+    return emitted, counters, total, sink_spent[0]
+
+
+def run_write(scale, tmp_dir):
+    """Mine the same stream plain and with write-through; the asserted
+    overhead is the sink's in-run share of the mining time."""
+    params = {k: v for k, v in scale.items() if k != "reps"}
+    ticks = list(synthetic_stream(seed=83, eps=EPS, **params))
+    plain_best = store_best = overhead_best = None
+    baseline = None
+    stored_total = sink_best = None
+    for rep in range(scale["reps"]):
+        emitted, _counters, seconds, _ = _mine(ticks)
+        if baseline is None:
+            baseline = emitted
+            assert baseline, "vacuous write workload: nothing was mined"
+        plain_best = seconds if plain_best is None else min(plain_best,
+                                                           seconds)
+        db = Path(tmp_dir) / f"write_rep{rep}.db"
+        emitted, counters, seconds, sink_seconds = _mine(
+            ticks, store_path=str(db)
+        )
+        assert emitted == baseline, (
+            "write-through changed the mined answer"
+        )
+        overhead = sink_seconds / (seconds - sink_seconds)
+        if overhead_best is None or overhead < overhead_best:
+            overhead_best = overhead
+            sink_best = sink_seconds
+        store_best = seconds if store_best is None else min(store_best,
+                                                            seconds)
+        stored_total = counters["stored_convoys"]
+        with SQLiteConvoyStore(db) as check:
+            assert check.count() == stored_total
+    snapshots = len(ticks)
+    rows = [
+        _row(**{"pass": "write"}, mode="plain", snapshots=snapshots,
+             convoys=len(baseline), stored=0, seconds=plain_best,
+             rate=safe_rate(snapshots, plain_best)),
+        _row(**{"pass": "write"}, mode="store", snapshots=snapshots,
+             convoys=len(baseline), stored=stored_total,
+             seconds=store_best, sink_seconds=sink_best,
+             rate=safe_rate(snapshots, store_best),
+             write_overhead=overhead_best),
+    ]
+    return rows, overhead_best
+
+
+def make_query_population(scale, seed=31):
+    """Seeded random convoys with distinct identities and bboxes."""
+    rng = random.Random(seed)
+    convoys, bboxes, seen = [], [], set()
+    while len(convoys) < scale["population"]:
+        t_start = rng.randrange(scale["domain"])
+        t_end = t_start + rng.randrange(scale["max_life"])
+        ids = rng.sample(range(10 * scale["max_life"]), rng.randrange(3, 8))
+        convoy = Convoy(ids, t_start, t_end)
+        identity = convoy_identity(convoy)
+        if identity in seen:
+            continue
+        seen.add(identity)
+        convoys.append(convoy)
+        x, y = rng.uniform(0, 1000.0), rng.uniform(0, 1000.0)
+        bboxes.append(BoundingBox(x, y, x + rng.uniform(1.0, 50.0),
+                                  y + rng.uniform(1.0, 50.0)))
+    return convoys, bboxes
+
+
+def query_windows(scale):
+    """Evenly spaced narrow windows spanning the whole time domain."""
+    step = max(1, (scale["domain"] - scale["width"]) // scale["windows"])
+    return [(t1, t1 + scale["width"])
+            for t1 in range(0, scale["domain"] - scale["width"], step)
+            ][:scale["windows"]]
+
+
+def run_query(scale, tmp_dir):
+    """Time the window set through the index and through a forced scan
+    over the same SQL predicate; results asserted equal row for row."""
+    convoys, bboxes = make_query_population(scale)
+    db = Path(tmp_dir) / "population.db"
+    with SQLiteConvoyStore(db) as store:
+        for lo in range(0, len(convoys), INSERT_CHUNK):
+            hi = lo + INSERT_CHUNK
+            store.add_batch(convoys[lo:hi], bboxes[lo:hi])
+        assert store.count() == len(convoys)
+        windows = query_windows(scale)
+        indexed_best = scan_best = top_k_best = None
+        for _rep in range(scale["reps"]):
+            started = time.perf_counter()
+            indexed = [store.alive_in(t1, t2) for t1, t2 in windows]
+            seconds = time.perf_counter() - started
+            indexed_best = (seconds if indexed_best is None
+                            else min(indexed_best, seconds))
+            started = time.perf_counter()
+            scanned = [store.alive_in(t1, t2, force_scan=True)
+                       for t1, t2 in windows]
+            seconds = time.perf_counter() - started
+            scan_best = (seconds if scan_best is None
+                         else min(scan_best, seconds))
+            assert indexed == scanned, (
+                "indexed plan diverged from the full scan"
+            )
+            started = time.perf_counter()
+            for by in ("size", "duration"):
+                top = list(store.top_k(by=by, k=10))
+                assert len(top) == 10
+            seconds = time.perf_counter() - started
+            top_k_best = (seconds if top_k_best is None
+                          else min(top_k_best, seconds))
+    hits = sum(len(result) for result in indexed)
+    speedup = scan_best / indexed_best if indexed_best > 0 else None
+    n_windows = len(windows)
+    rows = [
+        _row(**{"pass": "query"}, mode="indexed", population=len(convoys),
+             windows=n_windows, convoys=hits, seconds=indexed_best,
+             rate=safe_rate(n_windows, indexed_best),
+             speedup_vs_scan=speedup),
+        _row(**{"pass": "query"}, mode="scan", population=len(convoys),
+             windows=n_windows, convoys=hits, seconds=scan_best,
+             rate=safe_rate(n_windows, scan_best)),
+        _row(**{"pass": "query"}, mode="top_k", population=len(convoys),
+             windows=2, convoys=20, seconds=top_k_best,
+             rate=safe_rate(2, top_k_best)),
+    ]
+    return rows, speedup
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="CI-sized run: short stream and a 10^4-convoy population; "
+        "the overhead and speedup bars are still asserted",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="also write the results as machine-readable JSON "
+        "(seconds, rates, overhead, speedup, git SHA)",
+    )
+    args = parser.parse_args(argv)
+    write_scale = WRITE_SMOKE_SCALE if args.smoke else WRITE_FULL_SCALE
+    query_scale = QUERY_SMOKE_SCALE if args.smoke else QUERY_FULL_SCALE
+    with tempfile.TemporaryDirectory(prefix="bench_convoy_store_") as tmp:
+        write_rows, overhead = run_write(write_scale, tmp)
+        query_rows, speedup = run_query(query_scale, tmp)
+    print_report(
+        format_table(
+            "Write-through overhead — planted-groups stream "
+            f"({write_scale['n_objects']} objects x "
+            f"{write_scale['n_snapshots']} ticks, jitter "
+            f"{write_scale['jitter']:g}, m={M}, k={K}, e={EPS:g}, best "
+            f"of {write_scale['reps']}; identical emissions asserted)",
+            ["mode", "snap/s", "seconds", "sink s", "convoys",
+             "overhead"],
+            [[
+                row["mode"],
+                round(row["rate"], 1) if row["rate"] else "-",
+                round(row["seconds"], 4),
+                (round(row["sink_seconds"], 4)
+                 if row["sink_seconds"] is not None else "-"),
+                row["convoys"],
+                (f"{row['write_overhead'] * 100:.1f}%"
+                 if row["write_overhead"] is not None else "-"),
+            ] for row in write_rows],
+        )
+    )
+    print_report(
+        format_table(
+            "Indexed time-window queries — "
+            f"{query_scale['population']:,} convoys over a "
+            f"{query_scale['domain']:,}-tick domain, "
+            f"{query_scale['windows']} windows of width "
+            f"{query_scale['width']} (best of {query_scale['reps']}; "
+            "identical answers asserted)",
+            ["plan", "queries/s", "seconds", "rows out", "vs scan"],
+            [[
+                row["mode"],
+                round(row["rate"], 1) if row["rate"] else "-",
+                round(row["seconds"], 5),
+                row["convoys"],
+                (f"{row['speedup_vs_scan']:.1f}x"
+                 if row["speedup_vs_scan"] else "-"),
+            ] for row in query_rows],
+        )
+    )
+    if args.json:
+        write_bench_json(
+            args.json, "convoy_store",
+            dict(m=M, k=K, eps=EPS, smoke=args.smoke,
+                 overhead_bar=OVERHEAD_BAR, speedup_bar=SPEEDUP_BAR,
+                 write_scale=write_scale, query_scale=query_scale),
+            write_rows + query_rows,
+        )
+        print(f"json results written to {args.json}")
+    if overhead >= OVERHEAD_BAR:
+        raise SystemExit(
+            f"acceptance failure: the write-through sink took "
+            f"{overhead * 100:.1f}% of the mining run, not under the "
+            f"{OVERHEAD_BAR * 100:.0f}% bar"
+        )
+    if speedup is None or speedup < SPEEDUP_BAR:
+        shown = "unmeasurable" if speedup is None else f"{speedup:.1f}x"
+        raise SystemExit(
+            f"acceptance failure: indexed alive_in is only {shown} "
+            f"faster than the forced full scan, below the "
+            f"{SPEEDUP_BAR:.0f}x bar"
+        )
+    print(
+        f"acceptance: write-through overhead {overhead * 100:.1f}% "
+        f"(< {OVERHEAD_BAR * 100:.0f}%), indexed speedup "
+        f"{speedup:.1f}x (>= {SPEEDUP_BAR:.0f}x)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,12 +1,15 @@
 """Command-line interface for convoy discovery.
 
-Five subcommands mirror the workflows a practitioner needs:
+Six subcommands mirror the workflows a practitioner needs:
 
 * ``repro-convoy discover`` — run a convoy query over a CSV of
   ``object_id,t,x,y`` rows with any of the four algorithms;
 * ``repro-convoy stream`` — run the same query online, snapshot by
   snapshot, printing each convoy the moment it closes (from a CSV replay
-  or a seeded synthetic stream);
+  or a seeded synthetic stream); ``--store convoys.db`` persists every
+  convoy into a crash-safe SQLite store as it closes;
+* ``repro-convoy query`` — answer time-window / membership / bbox /
+  top-k questions over a persisted convoy store, from its indexes;
 * ``repro-convoy stats`` — print a dataset's Table 3-style statistics;
 * ``repro-convoy simplify`` — batch line-simplification of a CSV with DP,
   DP+, or DP*, reporting the vertex reduction;
@@ -14,13 +17,15 @@ Five subcommands mirror the workflows a practitioner needs:
   datasets (truck / cattle / car / taxi) to CSV for experimentation.
 
 All subcommands print human-readable text to stdout; ``discover`` and
-``stream`` can also write the answer as CSV for downstream tooling.
+``stream`` can also write the answer as CSV, and ``query --json``
+prints machine-readable JSON for downstream tooling.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 
@@ -30,8 +35,10 @@ from repro.core.cmc import cmc
 from repro.core.cuts import VARIANTS, cuts
 from repro.core.verification import normalize_convoys
 from repro.datasets.paperlike import DATASETS
+from repro.geometry.bbox import BoundingBox
 from repro.io.csv_io import load_trajectories_csv, save_trajectories_csv
 from repro.simplification import SIMPLIFIERS, simplification_report
+from repro.store import TOP_K_KEYS, convoy_identity, open_store
 from repro.streaming import (
     BACKENDS,
     LATE_POLICIES,
@@ -168,6 +175,45 @@ def build_parser():
         "convoys plus the full counters dict, including reorder and shard "
         "counters) to this path",
     )
+    stream.add_argument(
+        "--store", default=None, metavar="DB",
+        help="persist every convoy into this SQLite store as it closes "
+        "(one transaction per tick, crash-safe, idempotent on convoy "
+        "identity — re-running the same stream adds nothing); query it "
+        "back with the 'query' subcommand",
+    )
+
+    query = sub.add_parser(
+        "query",
+        help="answer indexed queries over a persisted convoy store",
+    )
+    query.add_argument("db", help="SQLite convoy store written by "
+                       "'stream --store' (or the ConvoyStore API)")
+    query.add_argument(
+        "--alive", default=None, metavar="T1:T2",
+        help="convoys whose interval intersects the closed window "
+        "[T1, T2] (also restricts --top-k)",
+    )
+    query.add_argument(
+        "--containing", default=None, metavar="OBJECT",
+        help="convoys the given object is a member of (matched as a "
+        "string and, when the text parses, as an integer id too)",
+    )
+    query.add_argument(
+        "--intersecting", default=None, metavar="X1:Y1:X2:Y2",
+        help="convoys whose stored bounding box intersects the query box",
+    )
+    query.add_argument(
+        "--top-k", type=int, default=None, metavar="K",
+        help="enumerate only the K highest-ranked convoys (lazy "
+        "ranked-enumeration heap merge over the store's rank indexes)",
+    )
+    query.add_argument(
+        "--by", default="size", choices=sorted(TOP_K_KEYS),
+        help="ranking dimension for --top-k (default: size)",
+    )
+    query.add_argument("--json", action="store_true",
+                       help="print the answer as JSON instead of text")
 
     stats = sub.add_parser("stats", help="print dataset statistics")
     stats.add_argument("csv", help="input file with object_id,t,x,y rows")
@@ -323,7 +369,7 @@ def _cmd_stream(args, out):
             paper_semantics=args.paper_semantics, window=args.window,
             clusterer=clusterer, reorder=reorder, shards=args.shards,
             executor=args.executor, resident=args.resident,
-            backend=args.backend,
+            backend=args.backend, store=args.store,
         )
     except ValueError as exc:
         print(f"bad query parameters: {exc}", file=out)
@@ -396,6 +442,13 @@ def _cmd_stream(args, out):
             f"{counters['max_shard_batch']}",
             file=out,
         )
+    if args.store is not None:
+        print(
+            f"store: {counters['stored_convoys']} convoy(s) stored, "
+            f"{counters['replayed_convoys']} replayed (idempotent) into "
+            f"{args.store}",
+            file=out,
+        )
     if miner.clusterer is not None:
         inc = miner.clusterer.counters
         print(
@@ -465,6 +518,131 @@ def _write_answer_json(args, convoys, miner, elapsed):
         handle.write("\n")
 
 
+def _parse_window(text):
+    """Parse ``T1:T2`` into an integer closed time window."""
+    parts = text.split(":")
+    if len(parts) != 2:
+        raise ValueError(f"expected T1:T2, got {text!r}")
+    t1, t2 = int(parts[0]), int(parts[1])
+    if t2 < t1:
+        raise ValueError(f"window reversed: [{t1}, {t2}]")
+    return t1, t2
+
+
+def _parse_box(text):
+    """Parse ``X1:Y1:X2:Y2`` into a :class:`BoundingBox` (corners may be
+    given in any order)."""
+    parts = text.split(":")
+    if len(parts) != 4:
+        raise ValueError(f"expected X1:Y1:X2:Y2, got {text!r}")
+    x1, y1, x2, y2 = (float(p) for p in parts)
+    return BoundingBox(min(x1, x2), min(y1, y2), max(x1, x2), max(y1, y2))
+
+
+def _cmd_query(args, out):
+    modes = [name for name, value in (
+        ("--alive", args.alive),
+        ("--containing", args.containing),
+        ("--intersecting", args.intersecting),
+    ) if value is not None]
+    if args.top_k is not None:
+        if args.top_k < 1:
+            print(f"bad --top-k value: must be >= 1, got {args.top_k}",
+                  file=out)
+            return 2
+        # --top-k ranks the whole store, optionally restricted to an
+        # --alive window; the other filters don't compose with ranking.
+        extra = [name for name in modes if name != "--alive"]
+        if extra:
+            print(f"--top-k only composes with --alive, not "
+                  f"{' / '.join(extra)}", file=out)
+            return 2
+    elif not modes:
+        print("query needs at least one of --alive / --containing / "
+              "--intersecting / --top-k", file=out)
+        return 2
+    elif len(modes) > 1:
+        print(f"pick one of {' / '.join(modes)} (filters do not compose)",
+              file=out)
+        return 2
+    try:
+        window = _parse_window(args.alive) if args.alive is not None else None
+        box = (_parse_box(args.intersecting)
+               if args.intersecting is not None else None)
+    except ValueError as exc:
+        print(f"bad query window/box: {exc}", file=out)
+        return 2
+    # Opening a SQLite path creates the file, so a typo'd path would turn
+    # into an empty (zero-answer) store; insist the store already exists.
+    if not os.path.exists(args.db):
+        print(f"no such store: {args.db}", file=out)
+        return 2
+    with open_store(args.db) as store:
+        if args.top_k is not None:
+            convoys = list(store.top_k(by=args.by, k=args.top_k,
+                                       alive=window))
+        elif window is not None:
+            convoys = store.alive_in(*window)
+        elif box is not None:
+            convoys = store.intersecting(box)
+        else:
+            # Member ids keep their type through the store, so a CLI
+            # query (always text) matches both the string id and — when
+            # the text parses — the integer id, merged in store order.
+            convoys = store.containing(args.containing)
+            try:
+                as_int = int(args.containing)
+            except ValueError:
+                pass
+            else:
+                merged = {convoy_identity(c): c
+                          for c in convoys + store.containing(as_int)}
+                convoys = sorted(
+                    merged.values(),
+                    key=lambda c: (c.t_start, c.t_end, convoy_identity(c)),
+                )
+        bboxes = [store.bbox_of(c) for c in convoys]
+        total = store.count()
+    if args.json:
+        payload = {
+            "db": args.db,
+            "query": {
+                "alive": list(window) if window is not None else None,
+                "containing": args.containing,
+                "intersecting": ([box.min_x, box.min_y, box.max_x,
+                                  box.max_y] if box is not None else None),
+                "top_k": args.top_k,
+                "by": args.by if args.top_k is not None else None,
+            },
+            "count": len(convoys),
+            "store_count": total,
+            "convoys": [
+                {
+                    "objects": sorted(str(o) for o in convoy.objects),
+                    "t_start": convoy.t_start,
+                    "t_end": convoy.t_end,
+                    "bbox": ([bbox.min_x, bbox.min_y, bbox.max_x,
+                              bbox.max_y] if bbox is not None else None),
+                }
+                for convoy, bbox in zip(convoys, bboxes)
+            ],
+        }
+        json.dump(payload, out, indent=2, sort_keys=True)
+        out.write("\n")
+    else:
+        for convoy, bbox in zip(convoys, bboxes):
+            members = ",".join(str(o) for o in sorted(convoy.objects,
+                                                      key=str))
+            box_text = (f" bbox=({bbox.min_x:g},{bbox.min_y:g})..("
+                        f"{bbox.max_x:g},{bbox.max_y:g})"
+                        if bbox is not None else "")
+            print(f"  t=[{convoy.t_start},{convoy.t_end}] "
+                  f"objects={members}{box_text}", file=out)
+        print(f"{len(convoys)} convoy(s) matched (store holds {total}; "
+              f"{args.db})", file=out)
+    return 0
+
+
 def _cmd_stats(args, out):
     db = load_trajectories_csv(args.csv)
     if len(db) == 0:
@@ -528,6 +706,7 @@ def _cmd_generate(args, out):
 COMMANDS = {
     "discover": _cmd_discover,
     "stream": _cmd_stream,
+    "query": _cmd_query,
     "stats": _cmd_stats,
     "simplify": _cmd_simplify,
     "generate": _cmd_generate,

@@ -339,6 +339,18 @@ class CandidateTracker:
         """Number of live candidate chains (O(1), for monitoring)."""
         return len(self._candidates)
 
+    @property
+    def oldest_live_start(self):
+        """Earliest ``t_start`` among live chains (None when none live).
+
+        Every convoy this tracker can still close starts at or after
+        this time — the retention horizon for anything buffering
+        per-tick context alongside the tracker (the persistence sink's
+        position log prunes below it)."""
+        if not self._candidates:
+            return None
+        return min(candidate.t_start for candidate in self._candidates)
+
     def _match_live(self, members, jobs):
         """Execute the step's cluster scans; the shard fan-out hook.
 

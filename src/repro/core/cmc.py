@@ -27,7 +27,7 @@ from repro.streaming.engine import StreamingConvoyMiner
 
 def cmc(database, m, k, eps, time_range=None, counters=None,
         paper_semantics=False, allowed_at=None, clusterer=None,
-        backend=None):
+        backend=None, store=None):
     """Run the CMC convoy-discovery algorithm.
 
     Args:
@@ -67,6 +67,12 @@ def cmc(database, m, k, eps, time_range=None, counters=None,
             forwarded to the miner — ``None``/``"python"`` (default) or
             ``"vector"`` (batched contiguous-array kernels, identical
             answer; see :mod:`repro.clustering.numeric`).
+        store: optional write-through persistence, forwarded to the
+            miner — a :class:`~repro.store.base.ConvoyStore` or a path
+            to a SQLite store; every convoy is persisted (with its
+            bounding box) as the batch sweep closes it, idempotent on
+            convoy identity, so re-running a batch over the same data
+            adds nothing.  The returned list is unchanged.
 
     Returns:
         List of :class:`repro.core.convoy.Convoy`, in discovery order.
@@ -99,26 +105,29 @@ def cmc(database, m, k, eps, time_range=None, counters=None,
 
     miner = StreamingConvoyMiner(
         m, k, eps, paper_semantics=paper_semantics, counters=counters,
-        clusterer=clusterer, backend=backend,
+        clusterer=clusterer, backend=backend, store=store,
     )
     results = []
-    for t in range(t_lo, t_hi + 1):
-        while next_idx < len(trajectories) and trajectories[next_idx].start_time <= t:
-            active.append(trajectories[next_idx])
-            next_idx += 1
-        if active:
-            active = [tr for tr in active if tr.end_time >= t]
-        allowed = allowed_at(t) if allowed_at is not None else None
-        snapshot = {}
-        interpolated = 0
-        for tr in active:
-            if allowed is not None and tr.object_id not in allowed:
-                continue
-            snapshot[tr.object_id] = tr.location_at(t)
-            if not tr.has_sample_at(t):
-                interpolated += 1
-        if counters is not None and len(snapshot) >= m:
-            counters["interpolated_points"] += interpolated
-        results.extend(miner.feed(t, snapshot))
-    results.extend(miner.flush())
+    # The context manager releases a path-opened store (and any pooled
+    # tracker resources) even when a snapshot raises mid-sweep.
+    with miner:
+        for t in range(t_lo, t_hi + 1):
+            while next_idx < len(trajectories) and trajectories[next_idx].start_time <= t:
+                active.append(trajectories[next_idx])
+                next_idx += 1
+            if active:
+                active = [tr for tr in active if tr.end_time >= t]
+            allowed = allowed_at(t) if allowed_at is not None else None
+            snapshot = {}
+            interpolated = 0
+            for tr in active:
+                if allowed is not None and tr.object_id not in allowed:
+                    continue
+                snapshot[tr.object_id] = tr.location_at(t)
+                if not tr.has_sample_at(t):
+                    interpolated += 1
+            if counters is not None and len(snapshot) >= m:
+                counters["interpolated_points"] += interpolated
+            results.extend(miner.feed(t, snapshot))
+        results.extend(miner.flush())
     return results

@@ -1,0 +1,513 @@
+"""SQLite backend of the :class:`~repro.store.base.ConvoyStore` interface.
+
+Storage shape (the accelerator-table pattern: interval answers live in
+indexed columns next to the payload, so every query is an index range
+walk, never a scan):
+
+::
+
+    convoys                                convoy_members
+    ---------------------------------      -----------------------
+    convoy_id   INTEGER PRIMARY KEY        object_id  TEXT
+    identity    TEXT UNIQUE  <- upsert     convoy_id  INTEGER
+    t_start     INTEGER  \\                 PRIMARY KEY (object_id,
+    t_end       INTEGER   } interval                    convoy_id)
+    segment     INTEGER  /  accelerator
+    size        INTEGER  \\  rank
+    lifetime    INTEGER  /  accelerator
+    members_json TEXT    <- read-back payload (no join needed)
+    min_x/min_y/max_x/max_y REAL  <- bbox accelerator (nullable)
+
+    store_meta: schema_version, segment_length, and the transactional
+    aggregate bounds (max_lifetime, max_width, max_height, min_t, max_t)
+    the query planner's narrowing tricks rely on.
+
+Why the queries are index-served:
+
+* **alive_in(t1, t2)** — interval intersection (``t_start <= t2 AND
+  t_end >= t1``) cannot be answered by one B-tree range alone, but the
+  store knows the longest lifetime it ever stored (``max_lifetime``,
+  maintained in the same transaction as every insert), so any convoy
+  alive at ``t1`` must have ``t_start > t1 - max_lifetime``.  Adding
+  that bound turns the predicate into a *two-sided* range on the
+  ``(t_start, t_end, identity)`` index — the classic bounded-extent
+  interval trick.  The same trick bounds ``intersecting(bbox)`` along x
+  via ``max_width``.
+* **top_k(by=size|duration)** — rows carry a coarse time ``segment``
+  (``t_start // segment_length``) and two per-segment rank indexes
+  (``(segment, size DESC, ...)`` / ``(segment, lifetime DESC, ...)``).
+  ``top_k`` opens one sorted cursor per candidate segment and lazily
+  **heap-merges** them (ranked enumeration): each ``next()`` pops one
+  heap root and advances one cursor, so the k-th result is produced
+  after O((#segments + k) log #segments) work and *nothing* is ever
+  materialized or sorted wholesale.  A time-window restriction simply
+  drops the non-overlapping segments before the merge starts.
+
+Durability: the database runs in WAL mode with ``synchronous=NORMAL``
+— every committed tick batch survives a killed process (WAL replay on
+reopen); a crash mid-commit rolls back to the previous tick boundary,
+and the identity upsert makes replaying the stream from the start
+converge on exactly the same rows.  One writer at a time is assumed
+(WAL readers are concurrent); multi-writer coordination is the
+PostgreSQL backend's job.
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+import sqlite3
+
+from repro.geometry.bbox import BoundingBox
+from repro.store.base import (
+    ConvoyStore,
+    convoy_identity,
+    encode_members,
+    encode_object_id,
+    rank_key,
+    row_to_convoy,
+)
+
+SCHEMA_VERSION = 1
+
+#: Default coarse-segment width (time points) for the top-k rank indexes.
+DEFAULT_SEGMENT_LENGTH = 64
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS store_meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+) WITHOUT ROWID;
+CREATE TABLE IF NOT EXISTS convoys (
+    convoy_id    INTEGER PRIMARY KEY,
+    identity     TEXT NOT NULL UNIQUE,
+    t_start      INTEGER NOT NULL,
+    t_end        INTEGER NOT NULL,
+    segment      INTEGER NOT NULL,
+    size         INTEGER NOT NULL,
+    lifetime     INTEGER NOT NULL,
+    members_json TEXT NOT NULL,
+    min_x REAL, min_y REAL, max_x REAL, max_y REAL
+);
+CREATE INDEX IF NOT EXISTS idx_convoys_interval
+    ON convoys (t_start, t_end, identity);
+CREATE INDEX IF NOT EXISTS idx_convoys_rank_size
+    ON convoys (segment, size DESC, lifetime DESC, t_start, t_end, identity);
+CREATE INDEX IF NOT EXISTS idx_convoys_rank_duration
+    ON convoys (segment, lifetime DESC, size DESC, t_start, t_end, identity);
+CREATE INDEX IF NOT EXISTS idx_convoys_bbox
+    ON convoys (min_x);
+CREATE TABLE IF NOT EXISTS convoy_members (
+    object_id TEXT NOT NULL,
+    convoy_id INTEGER NOT NULL REFERENCES convoys(convoy_id)
+        ON DELETE CASCADE,
+    PRIMARY KEY (object_id, convoy_id)
+) WITHOUT ROWID;
+"""
+
+_ROW_FIELDS = "t_start, t_end, members_json"
+
+
+class SQLiteConvoyStore(ConvoyStore):
+    """A :class:`~repro.store.base.ConvoyStore` over one SQLite file.
+
+    Args:
+        path: database file path (created on first open), or
+            ``":memory:"`` for an ephemeral store (tests; WAL does not
+            apply there).
+        segment_length: coarse-segment width for the top-k rank indexes,
+            in time points.  Fixed at database creation; reopening an
+            existing store keeps its stored value and ignores this
+            argument.
+    """
+
+    def __init__(self, path, segment_length=DEFAULT_SEGMENT_LENGTH):
+        if segment_length < 1:
+            raise ValueError(
+                f"segment_length must be >= 1, got {segment_length}"
+            )
+        self.path = os.fspath(path) if not isinstance(path, str) else path
+        # Explicit transaction control: the connection stays in
+        # autocommit and every write path wraps itself in BEGIN/COMMIT,
+        # so a tick batch is exactly one WAL commit.
+        self._con = sqlite3.connect(self.path, isolation_level=None)
+        self._con.execute("PRAGMA foreign_keys = ON")
+        if self.path != ":memory:":
+            self._con.execute("PRAGMA journal_mode = WAL")
+            # NORMAL loses at most OS-buffer durability on *power* loss;
+            # a killed process never loses a committed transaction, and
+            # consistency is unconditional.
+            self._con.execute("PRAGMA synchronous = NORMAL")
+            self._con.execute("PRAGMA busy_timeout = 10000")
+        self._closed = False
+        self._in_batch = False
+        self._con.executescript(_SCHEMA)
+        self._meta = dict(
+            self._con.execute("SELECT key, value FROM store_meta")
+        )
+        # Parsed-number cache over _meta: _bump_bounds consults the
+        # aggregate bounds on every insert, so str->int parsing there
+        # would be per-convoy write-through overhead.
+        self._parsed = {}
+        version = int(self._meta.get("schema_version", SCHEMA_VERSION))
+        if version != SCHEMA_VERSION:
+            raise ValueError(
+                f"convoy store {self.path!r} has schema version {version}; "
+                f"this build reads version {SCHEMA_VERSION}"
+            )
+        if "schema_version" not in self._meta:
+            self._write_meta(
+                schema_version=SCHEMA_VERSION,
+                segment_length=int(segment_length),
+            )
+        self.segment_length = int(self._meta["segment_length"])
+
+    # -- metadata ----------------------------------------------------
+
+    def _write_meta(self, **updates):
+        """Upsert meta keys (inside the caller's transaction, if any)."""
+        rows = [(key, str(value)) for key, value in updates.items()]
+        self._con.executemany(
+            "INSERT INTO store_meta (key, value) VALUES (?, ?) "
+            "ON CONFLICT(key) DO UPDATE SET value = excluded.value",
+            rows,
+        )
+        for key, value in updates.items():
+            self._meta[key] = str(value)
+            self._parsed.pop(key, None)
+
+    def _meta_int(self, key):
+        return self._meta_number(key, int)
+
+    def _meta_float(self, key):
+        return self._meta_number(key, float)
+
+    def _meta_number(self, key, parse):
+        value = self._parsed.get(key)
+        if value is None:
+            raw = self._meta.get(key)
+            if raw is None:
+                return None
+            value = self._parsed[key] = parse(raw)
+        return value
+
+    # -- writing -----------------------------------------------------
+
+    def add(self, convoy, bbox=None):
+        self._check_open()
+        if self._in_batch:
+            return self._insert(convoy, bbox)
+        self._con.execute("BEGIN IMMEDIATE")
+        try:
+            inserted = self._insert(convoy, bbox)
+        except BaseException:
+            self._con.execute("ROLLBACK")
+            raise
+        self._con.execute("COMMIT")
+        return inserted
+
+    def add_batch(self, convoys, bboxes=None):
+        self._check_open()
+        if bboxes is None:
+            pairs = [(convoy, None) for convoy in convoys]
+        else:
+            pairs = list(zip(convoys, bboxes))
+        if not pairs:
+            return 0
+        if self._in_batch:
+            return sum(self._insert(c, b) for c, b in pairs)
+        self._con.execute("BEGIN IMMEDIATE")
+        try:
+            stored = sum(self._insert(c, b) for c, b in pairs)
+        except BaseException:
+            self._con.execute("ROLLBACK")
+            raise
+        self._con.execute("COMMIT")
+        return stored
+
+    def batch(self):
+        """Context manager grouping many :meth:`add` calls into one
+        transaction (the write-through sink's per-tick commit unit)."""
+        return _Batch(self)
+
+    def _insert(self, convoy, bbox):
+        # One encoding pass serves both the identity and the payload —
+        # the identity is, by construction, interval + member text.
+        members_json = encode_members(convoy.objects)
+        identity = f"{convoy.t_start}:{convoy.t_end}:{members_json}"
+        if bbox is None:
+            box_cols = (None, None, None, None)
+        else:
+            box_cols = (bbox.min_x, bbox.min_y, bbox.max_x, bbox.max_y)
+        cursor = self._con.execute(
+            "INSERT INTO convoys (identity, t_start, t_end, segment, size,"
+            " lifetime, members_json, min_x, min_y, max_x, max_y)"
+            " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)"
+            " ON CONFLICT(identity) DO NOTHING",
+            (identity, convoy.t_start, convoy.t_end,
+             convoy.t_start // self.segment_length, convoy.size,
+             convoy.lifetime, members_json, *box_cols),
+        )
+        if cursor.rowcount != 1:
+            return False  # identity already stored: the idempotent path
+        convoy_id = cursor.lastrowid
+        self._con.executemany(
+            "INSERT OR IGNORE INTO convoy_members (object_id, convoy_id)"
+            " VALUES (?, ?)",
+            [(encode_object_id(o), convoy_id) for o in convoy.objects],
+        )
+        self._bump_bounds(convoy, bbox)
+        return True
+
+    def _bump_bounds(self, convoy, bbox):
+        """Maintain the aggregate bounds the narrowing tricks rely on
+        (same transaction as the insert, so they are never stale)."""
+        updates = {}
+        max_lifetime = self._meta_int("max_lifetime")
+        if max_lifetime is None or convoy.lifetime > max_lifetime:
+            updates["max_lifetime"] = convoy.lifetime
+        min_t = self._meta_int("min_t")
+        if min_t is None or convoy.t_start < min_t:
+            updates["min_t"] = convoy.t_start
+        max_t = self._meta_int("max_t")
+        if max_t is None or convoy.t_end > max_t:
+            updates["max_t"] = convoy.t_end
+        if bbox is not None:
+            max_width = self._meta_float("max_width")
+            if max_width is None or bbox.width > max_width:
+                updates["max_width"] = bbox.width
+            max_height = self._meta_float("max_height")
+            if max_height is None or bbox.height > max_height:
+                updates["max_height"] = bbox.height
+        if updates:
+            self._write_meta(**updates)
+
+    # -- reading -----------------------------------------------------
+
+    def alive_in(self, t1, t2, force_scan=False):
+        """Convoys whose closed interval intersects ``[t1, t2]``.
+
+        ``force_scan=True`` bypasses every index (``NOT INDEXED`` +
+        external sort) — the benchmark's honest full-scan baseline, kept
+        on the query itself so both plans answer literally the same SQL
+        predicate.
+        """
+        self._check_open()
+        if t2 < t1:
+            raise ValueError(f"alive_in window reversed: [{t1}, {t2}]")
+        if force_scan:
+            rows = self._con.execute(
+                f"SELECT {_ROW_FIELDS} FROM convoys NOT INDEXED"
+                " WHERE t_end >= ? AND t_start <= ?"
+                " ORDER BY t_start, t_end, identity",
+                (t1, t2),
+            )
+            return [row_to_convoy(*row) for row in rows]
+        max_lifetime = self._meta_int("max_lifetime")
+        if max_lifetime is None:
+            return []  # empty store
+        # Bounded-extent narrowing: alive at t1 implies
+        # t_start > t1 - max_lifetime, so the predicate is a two-sided
+        # range on the (t_start, t_end, identity) index.
+        rows = self._con.execute(
+            f"SELECT {_ROW_FIELDS} FROM convoys"
+            " WHERE t_start >= ? AND t_start <= ? AND t_end >= ?"
+            " ORDER BY t_start, t_end, identity",
+            (t1 - max_lifetime + 1, t2, t1),
+        )
+        return [row_to_convoy(*row) for row in rows]
+
+    def containing(self, object_id):
+        self._check_open()
+        rows = self._con.execute(
+            f"SELECT c.{_ROW_FIELDS.replace(', ', ', c.')}"
+            " FROM convoy_members m"
+            " JOIN convoys c ON c.convoy_id = m.convoy_id"
+            " WHERE m.object_id = ?"
+            " ORDER BY c.t_start, c.t_end, c.identity",
+            (encode_object_id(object_id),),
+        )
+        return [row_to_convoy(*row) for row in rows]
+
+    def intersecting(self, bbox):
+        self._check_open()
+        max_width = self._meta_float("max_width")
+        if max_width is None:
+            return []  # no convoy was ever stored with a bounding box
+        # Same bounded-extent trick along x: an intersecting box has
+        # min_x <= query.max_x and min_x > query.min_x - max_width,
+        # served by the (min_x) index; y and the exact x overlap are
+        # residual filters.
+        rows = self._con.execute(
+            f"SELECT {_ROW_FIELDS} FROM convoys"
+            " WHERE min_x IS NOT NULL"
+            " AND min_x >= ? AND min_x <= ?"
+            " AND max_x >= ? AND min_y <= ? AND max_y >= ?"
+            " ORDER BY t_start, t_end, identity",
+            (bbox.min_x - max_width, bbox.max_x,
+             bbox.min_x, bbox.max_y, bbox.min_y),
+        )
+        return [row_to_convoy(*row) for row in rows]
+
+    def top_k(self, by="size", k=None, alive=None):
+        """Lazily enumerate the k highest-ranked convoys (ranked-
+        enumeration heap merge over the per-segment rank indexes; see
+        the module docstring).  ``k=None`` streams the full ranking."""
+        self._check_open()
+        if by == "size":
+            order = "size DESC, lifetime DESC, t_start, t_end, identity"
+        elif by == "duration":
+            order = "lifetime DESC, size DESC, t_start, t_end, identity"
+        else:
+            raise ValueError(
+                f"top_k ranks by 'size' or 'duration', got {by!r}"
+            )
+        if k is not None and k < 0:
+            raise ValueError(f"k must be >= 0 or None, got {k}")
+        min_t = self._meta_int("min_t")
+        if min_t is None or k == 0:
+            return iter(())
+        max_t = self._meta_int("max_t")
+        max_lifetime = self._meta_int("max_lifetime")
+        where = ""
+        params = ()
+        lo_t, hi_t = min_t, max_t
+        if alive is not None:
+            t1, t2 = alive
+            if t2 < t1:
+                raise ValueError(f"alive window reversed: [{t1}, {t2}]")
+            where = " AND t_start >= ? AND t_start <= ? AND t_end >= ?"
+            params = (t1 - max_lifetime + 1, t2, t1)
+            lo_t = max(lo_t, t1 - max_lifetime + 1)
+            hi_t = min(hi_t, t2)
+            if hi_t < lo_t:
+                return iter(())
+        segments = range(lo_t // self.segment_length,
+                         hi_t // self.segment_length + 1)
+        return self._merge_segments(segments, order, where, params, by, k)
+
+    def _merge_segments(self, segments, order, where, params, by, k):
+        """The lazy k-way merge: one sorted index cursor per segment,
+        one heap pop (plus one cursor advance) per yielded convoy."""
+        cursors = []
+        try:
+            heap = []
+            for seg_pos, segment in enumerate(segments):
+                cursor = self._con.execute(
+                    "SELECT size, lifetime, t_start, t_end, identity,"
+                    " members_json FROM convoys"
+                    f" WHERE segment = ?{where} ORDER BY {order}",
+                    (segment, *params),
+                )
+                cursors.append(cursor)
+                row = cursor.fetchone()
+                if row is not None:
+                    heap.append((self._merge_key(row, by), seg_pos, row))
+            heapq.heapify(heap)
+            yielded = 0
+            while heap and (k is None or yielded < k):
+                _key, seg_pos, row = heap[0]
+                convoy = row_to_convoy(row[2], row[3], row[5])
+                next_row = cursors[seg_pos].fetchone()
+                if next_row is None:
+                    heapq.heappop(heap)
+                else:
+                    heapq.heapreplace(
+                        heap,
+                        (self._merge_key(next_row, by), seg_pos, next_row),
+                    )
+                yield convoy
+                yielded += 1
+        finally:
+            for cursor in cursors:
+                cursor.close()
+
+    @staticmethod
+    def _merge_key(row, by):
+        """The heap ordering key — precisely
+        :func:`~repro.store.base.rank_key` built from row fields."""
+        size, lifetime, t_start, t_end, identity, _members = row
+        if by == "size":
+            return (-size, -lifetime, t_start, t_end, identity)
+        return (-lifetime, -size, t_start, t_end, identity)
+
+    def all_convoys(self):
+        self._check_open()
+        rows = self._con.execute(
+            f"SELECT {_ROW_FIELDS} FROM convoys"
+            " ORDER BY t_start, t_end, identity"
+        )
+        return [row_to_convoy(*row) for row in rows]
+
+    def count(self):
+        self._check_open()
+        (n,) = self._con.execute("SELECT COUNT(*) FROM convoys").fetchone()
+        return n
+
+    def bbox_of(self, convoy):
+        self._check_open()
+        row = self._con.execute(
+            "SELECT min_x, min_y, max_x, max_y FROM convoys"
+            " WHERE identity = ?",
+            (convoy_identity(convoy),),
+        ).fetchone()
+        if row is None or row[0] is None:
+            return None
+        return BoundingBox(*row)
+
+    # -- lifecycle ---------------------------------------------------
+
+    def close(self):
+        if not self._closed:
+            self._closed = True
+            self._con.close()
+
+    def _check_open(self):
+        if self._closed:
+            raise RuntimeError(f"convoy store {self.path!r} is closed")
+
+
+class _Batch:
+    """One explicit transaction around many :meth:`add` calls."""
+
+    def __init__(self, store):
+        self._store = store
+
+    def __enter__(self):
+        store = self._store
+        store._check_open()
+        if store._in_batch:
+            raise RuntimeError("convoy store batches do not nest")
+        store._con.execute("BEGIN IMMEDIATE")
+        store._in_batch = True
+        return store
+
+    def __exit__(self, exc_type, exc_value, traceback):
+        store = self._store
+        store._in_batch = False
+        if exc_type is None:
+            store._con.execute("COMMIT")
+        else:
+            store._con.execute("ROLLBACK")
+        return False
+
+
+def open_store(path, **kwargs):
+    """Open (creating if needed) the SQLite convoy store at ``path``.
+
+    The seam a PostgreSQL backend plugs into later: callers that accept
+    a *path or store* (the miner, the CLI) funnel through here, so a
+    connection-URL dispatch lands in exactly one place.
+    """
+    return SQLiteConvoyStore(path, **kwargs)
+
+
+# Re-exported for callers that already hold a rank ordering and want to
+# verify it (the differential suite does).
+__all__ = [
+    "DEFAULT_SEGMENT_LENGTH",
+    "SCHEMA_VERSION",
+    "SQLiteConvoyStore",
+    "open_store",
+    "rank_key",
+]

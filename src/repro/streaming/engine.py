@@ -73,6 +73,9 @@ from repro.streaming.pipeline import (
 )
 from repro.streaming.reorder import ReorderBuffer
 from repro.streaming.sharding import ShardedCandidateTracker
+from repro.store.base import ConvoyStore
+from repro.store.sink import StoreSink
+from repro.store.sqlite import open_store
 
 #: Counter keys a miner maintains in its ``counters`` dict.
 COUNTER_KEYS = (
@@ -153,6 +156,18 @@ class StreamingConvoyMiner:
             bit-for-bit identical either way.  A pre-built clusterer
             instance keeps whatever backend it was constructed with.
             Introspectable as :attr:`backend`.
+        store: optional write-through persistence.  A
+            :class:`~repro.store.base.ConvoyStore` instance, or a path
+            (``str``/``os.PathLike``) from which a SQLite store is
+            opened (and closed again when the miner closes).  Every
+            closed convoy is persisted the tick it closes — one
+            transaction per tick, idempotent on convoy identity, so a
+            crashed-and-restarted stream resumes without duplicates —
+            together with its bounding box over the positions its
+            members reported.  Emissions are untouched; the chosen
+            store is introspectable as :attr:`store` (None without
+            persistence).  Adds ``stored_convoys`` /
+            ``replayed_convoys`` to the counters.
 
     Usage::
 
@@ -171,7 +186,7 @@ class StreamingConvoyMiner:
 
     def __init__(self, m, k, eps, paper_semantics=False, window=None,
                  counters=None, clusterer=None, reorder=None, shards=None,
-                 executor=None, resident=False, backend=None):
+                 executor=None, resident=False, backend=None, store=None):
         #: The numeric backend driving the hot kernels ("python"/"vector").
         self.backend = validate_backend(backend)
         if eps <= 0:
@@ -235,6 +250,18 @@ class StreamingConvoyMiner:
                 "clusterer must be None, 'full', 'incremental', or an "
                 f"object with a cluster() method, got {clusterer!r}"
             )
+        if store is None:
+            self.store = None
+            sink = None
+        elif isinstance(store, ConvoyStore):
+            self.store = store
+            sink = StoreSink(store, counters=self.counters)
+        else:
+            # A path: the miner owns the store it opened, so closing
+            # the miner closes the database too.
+            self.store = open_store(store)
+            sink = StoreSink(self.store, counters=self.counters,
+                             owns_store=True)
         #: The staged data path (ingest → cluster → track → emit); see
         #: :mod:`repro.streaming.pipeline`.
         self.pipeline = StreamingPipeline(
@@ -242,7 +269,7 @@ class StreamingConvoyMiner:
             ClusterStage(self.clusterer, eps, m, self.counters,
                          backend=self.backend),
             TrackStage(tracker, window),
-            EmitStage(self.counters),
+            EmitStage(self.counters, sink=sink),
         )
         self._flushed = False
 
@@ -316,9 +343,11 @@ class StreamingConvoyMiner:
 
         A closed-but-unflushed miner can still ``flush``: pooled
         backends rebuild lazily (resident workers re-seed from the
-        parent's authoritative state), so ``close`` never loses chains.
+        parent's authoritative state), so ``close`` never loses chains
+        — though a store the miner itself opened from a path is closed
+        here and stays closed.
         """
-        self.pipeline.track.close()
+        self.pipeline.close()
 
     def __enter__(self):
         return self
@@ -330,7 +359,7 @@ class StreamingConvoyMiner:
 
 def mine_stream(source, m, k, eps, paper_semantics=False, window=None,
                 counters=None, clusterer=None, reorder=None, shards=None,
-                executor=None, resident=False, backend=None):
+                executor=None, resident=False, backend=None, store=None):
     """Drive a :class:`StreamingConvoyMiner` over a snapshot source.
 
     Args:
@@ -342,7 +371,9 @@ def mine_stream(source, m, k, eps, paper_semantics=False, window=None,
             feeds of ``synthetic_stream(..., jitter=)``).
         m, k, eps: the convoy-query parameters.
         paper_semantics, window, counters, clusterer, reorder, shards,
-            executor, resident, backend: forwarded to the miner.
+            executor, resident, backend, store: forwarded to the miner
+            (``store`` persists every convoy as it closes; a path opens
+            a SQLite store that is closed again before returning).
 
     Returns:
         List of :class:`~repro.core.convoy.Convoy` in discovery order,
@@ -352,7 +383,7 @@ def mine_stream(source, m, k, eps, paper_semantics=False, window=None,
         m, k, eps, paper_semantics=paper_semantics, window=window,
         counters=counters, clusterer=clusterer, reorder=reorder,
         shards=shards, executor=executor, resident=resident,
-        backend=backend,
+        backend=backend, store=store,
     )
     convoys = []
     # The context manager releases pooled backends even when the source

@@ -38,9 +38,14 @@ Stage contract, per in-order tick:
   present), applies the bounded-memory window, and returns the closed
   :class:`~repro.core.candidates.ClosedCandidate` records;
   ``flush()`` closes every remaining chain.
-* ``EmitStage.emit_tick(records, live_count)`` /
+* ``EmitStage.emit_tick(records, live_count, oldest_live_start)`` /
   ``emit_flush(records)`` convert records to
-  :class:`~repro.core.convoy.Convoy` and keep the engine counters.
+  :class:`~repro.core.convoy.Convoy` and keep the engine counters —
+  and, when built with a write-through ``sink``
+  (:class:`~repro.store.sink.StoreSink`), persist every closed convoy
+  into a :class:`~repro.store.base.ConvoyStore` as one transaction per
+  tick (``observe`` feeds the sink the tick's positions first, so
+  stored convoys carry their bounding boxes).
 
 The engine owns parameter validation and the public API; the pipeline
 owns the data path.  Nothing here imports the engine, so stages are
@@ -144,6 +149,12 @@ class TrackStage:
     def live_candidates(self):
         return self.tracker.live_candidates
 
+    @property
+    def oldest_live_start(self):
+        """Earliest ``t_start`` among live chains (None when none live);
+        the write-through sink's position-log retention horizon."""
+        return self.tracker.oldest_live_start
+
     def step(self, t, clusters, delta, gap):
         """One in-order tick; returns the ClosedCandidate records."""
         records = []
@@ -172,23 +183,48 @@ class TrackStage:
 
 
 class EmitStage:
-    """Convert closed records to convoys; maintain the engine counters."""
+    """Convert closed records to convoys; maintain the engine counters;
+    optionally write every closed convoy through a persistence sink."""
 
     name = "emit"
 
-    def __init__(self, counters):
+    def __init__(self, counters, sink=None):
         self.counters = counters
+        #: Optional write-through :class:`~repro.store.sink.StoreSink`.
+        self.sink = sink
 
-    def emit_tick(self, records, live_count):
+    def observe(self, t, snapshot):
+        """Show the sink one tick's positions before the tick runs (the
+        bounding boxes of later closures are computed from these)."""
+        if self.sink is not None:
+            self.sink.observe(t, snapshot)
+
+    def emit_tick(self, records, live_count, oldest_live_start=None):
         self.counters["snapshots"] += 1
         if live_count > self.counters["peak_candidates"]:
             self.counters["peak_candidates"] = live_count
         self.counters["convoys_emitted"] += len(records)
-        return [record.as_convoy() for record in records]
+        convoys = [record.as_convoy() for record in records]
+        if self.sink is not None:
+            # One transaction per tick: the store always holds a clean
+            # tick-prefix of the stream (crash safety's commit unit).
+            self.sink.write(convoys)
+            self.sink.commit(oldest_live_start)
+        return convoys
 
     def emit_flush(self, records):
         self.counters["convoys_emitted"] += len(records)
-        return [record.as_convoy() for record in records]
+        convoys = [record.as_convoy() for record in records]
+        if self.sink is not None:
+            self.sink.write(convoys)
+            self.sink.commit()
+        return convoys
+
+    def close(self):
+        """Release the sink (commits nothing new after a flush; owns-
+        store sinks close their store)."""
+        if self.sink is not None:
+            self.sink.close()
 
 
 class StreamingPipeline:
@@ -217,7 +253,14 @@ class StreamingPipeline:
         closed.extend(self.emit.emit_flush(self.track.flush()))
         return closed
 
+    def close(self):
+        """Release stage resources without flushing (error paths)."""
+        self.track.close()
+        self.emit.close()
+
     def _run_tick(self, t, snapshot, gap):
+        self.emit.observe(t, snapshot)
         clusters, delta = self.cluster.cluster(snapshot)
         records = self.track.step(t, clusters, delta, gap)
-        return self.emit.emit_tick(records, self.track.live_count)
+        return self.emit.emit_tick(records, self.track.live_count,
+                                   self.track.oldest_live_start)

@@ -1,0 +1,51 @@
+"""Subprocess body for the crash-safety test (not a test module).
+
+Mines a deterministic churn stream into a convoy store, reporting each
+completed tick to a progress file *after* the tick's transaction has
+committed, so the parent can SIGKILL this process at a known point and
+reason exactly about which tick-prefix the store must hold.  A small
+per-tick sleep widens the kill window without changing the answer.
+
+Usage: python _crash_child.py DB_PATH PROGRESS_PATH [SLEEP_SECONDS]
+"""
+
+import os
+import sys
+import time
+
+from repro.streaming import StreamingConvoyMiner, churn_stream
+
+# The one workload both sides of the crash test mine; the parent imports
+# this module for the constants, the subprocess runs it as __main__.
+WORKLOAD = dict(n_objects=40, n_snapshots=150, seed=97, eps=8.0,
+                churn=0.12, turnover=0.05, area=96.0)
+QUERY = dict(m=3, k=4, eps=8.0)
+
+
+def workload_ticks():
+    return list(churn_stream(**WORKLOAD))
+
+
+def main(argv):
+    db_path, progress_path = argv[1], argv[2]
+    sleep_seconds = float(argv[3]) if len(argv) > 3 else 0.0
+    miner = StreamingConvoyMiner(
+        QUERY["m"], QUERY["k"], QUERY["eps"], store=db_path
+    )
+    with miner:
+        for t, snapshot in workload_ticks():
+            miner.feed(t, snapshot)
+            # The tick's transaction is committed; only now advertise it.
+            with open(progress_path + ".tmp", "w") as handle:
+                handle.write(str(t))
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(progress_path + ".tmp", progress_path)
+            if sleep_seconds:
+                time.sleep(sleep_seconds)
+        miner.flush()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

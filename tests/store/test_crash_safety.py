@@ -1,0 +1,161 @@
+"""Crash safety: SIGKILL mid-stream leaves a clean tick-prefix, and a
+restarted stream resumes into the same store without duplicates.
+
+The child process (``_crash_child.py``) mines a deterministic churn
+stream into a store and advertises tick ``t`` in a progress file only
+*after* tick ``t``'s transaction committed.  The parent kills it with
+SIGKILL (no cleanup, no atexit, no WAL checkpoint) partway through, so
+the reopened store must hold **exactly** the convoys emitted up to some
+tick ``T`` with ``progress <= T <= progress + 1`` — the one-tick slack
+being a commit that landed after the last progress write.  Anything
+less means a committed transaction was lost; anything more or torn
+means a partial tick leaked.
+
+The restart half then replays the full stream into the surviving store:
+emissions must equal an uncrashed run's, every pre-crash row must be
+accounted a replay (idempotent identity upsert), and the final store
+must be indistinguishable from one written in a single uninterrupted
+run.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+import _crash_child
+from repro.store import SQLiteConvoyStore, convoy_identity
+from repro.streaming import StreamingConvoyMiner
+
+KILL_AFTER_TICK = 40
+TICK_SLEEP = 0.01
+DEADLINE = 60.0
+
+
+def canonical(convoys):
+    return sorted(convoys, key=lambda c: (c.t_start, c.t_end,
+                                          convoy_identity(c)))
+
+
+def cumulative_prefixes():
+    """identity->convoy maps of everything emitted up to each tick,
+    from an in-process run of the child's exact workload."""
+    miner = StreamingConvoyMiner(
+        _crash_child.QUERY["m"], _crash_child.QUERY["k"],
+        _crash_child.QUERY["eps"],
+    )
+    prefixes, emitted = {}, {}
+    with miner:
+        for t, snapshot in _crash_child.workload_ticks():
+            for convoy in miner.feed(t, snapshot):
+                emitted[convoy_identity(convoy)] = convoy
+            prefixes[t] = dict(emitted)
+        flushed = miner.flush()
+        for convoy in flushed:
+            emitted[convoy_identity(convoy)] = convoy
+    return prefixes, emitted
+
+
+def read_progress(path):
+    try:
+        text = Path(path).read_text()
+    except FileNotFoundError:
+        return None
+    return int(text) if text else None
+
+
+@pytest.fixture(scope="module")
+def reference():
+    return cumulative_prefixes()
+
+
+class TestSigkillMidStream:
+    def test_prefix_survives_and_restart_resumes(self, tmp_path, reference):
+        prefixes, full = reference
+        assert len(prefixes) > KILL_AFTER_TICK + 20, (
+            "workload too short to kill mid-stream"
+        )
+        db_path = str(tmp_path / "crash.db")
+        progress_path = str(tmp_path / "progress")
+        env = dict(os.environ)
+        src = Path(__file__).resolve().parents[2] / "src"
+        env["PYTHONPATH"] = str(src) + os.pathsep + env.get("PYTHONPATH", "")
+        child = subprocess.Popen(
+            [sys.executable, str(Path(_crash_child.__file__)),
+             db_path, progress_path, str(TICK_SLEEP)],
+            env=env, stdout=subprocess.DEVNULL, stderr=subprocess.PIPE,
+        )
+        try:
+            deadline = time.monotonic() + DEADLINE
+            while True:
+                progress = read_progress(progress_path)
+                if progress is not None and progress >= KILL_AFTER_TICK:
+                    break
+                if child.poll() is not None:
+                    stderr = child.stderr.read().decode()
+                    pytest.fail(
+                        f"child exited (rc={child.returncode}) before the "
+                        f"kill point: {stderr}"
+                    )
+                if time.monotonic() > deadline:
+                    pytest.fail("child never reached the kill point")
+                time.sleep(0.005)
+            os.kill(child.pid, signal.SIGKILL)
+            child.wait(timeout=30)
+        finally:
+            if child.poll() is None:
+                child.kill()
+                child.wait(timeout=30)
+            child.stderr.close()
+        assert child.returncode == -signal.SIGKILL
+
+        progress = read_progress(progress_path)
+        assert progress is not None and progress < max(prefixes), (
+            "child finished the whole stream; the kill landed too late "
+            "to test anything"
+        )
+
+        # -- the crash half: exactly a tick-prefix survived ------------
+        with SQLiteConvoyStore(db_path) as store:
+            survived = store.all_convoys()
+            assert all(store.bbox_of(c) is not None for c in survived)
+        survived_ids = {convoy_identity(c) for c in survived}
+        acceptable = {
+            t: prefixes[t]
+            for t in (progress, progress + 1) if t in prefixes
+        }
+        matches = [t for t, prefix in acceptable.items()
+                   if survived_ids == set(prefix)]
+        assert matches, (
+            f"store is not a clean tick-prefix: progress={progress}, "
+            f"store holds {len(survived_ids)} identities, expected one of "
+            f"{[len(p) for p in acceptable.values()]}"
+        )
+        crash_tick = matches[0]
+        assert canonical(survived) == canonical(
+            acceptable[crash_tick].values()
+        )
+
+        # -- the restart half: resume without duplicates ---------------
+        counters = {}
+        miner = StreamingConvoyMiner(
+            _crash_child.QUERY["m"], _crash_child.QUERY["k"],
+            _crash_child.QUERY["eps"], store=db_path, counters=counters,
+        )
+        emitted = []
+        with miner:
+            for t, snapshot in _crash_child.workload_ticks():
+                emitted.extend(miner.feed(t, snapshot))
+            emitted.extend(miner.flush())
+        assert {convoy_identity(c) for c in emitted} == set(full), (
+            "restarted run emitted a different answer"
+        )
+        assert counters["replayed_convoys"] >= len(survived_ids)
+        assert counters["stored_convoys"] == len(full) - len(survived_ids)
+        with SQLiteConvoyStore(db_path) as store:
+            assert store.count() == len(full)
+            assert store.all_convoys() == canonical(full.values())

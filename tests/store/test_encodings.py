@@ -1,0 +1,104 @@
+"""Canonical store encodings: exact round-trips, deterministic identity.
+
+The store's whole bit-for-bit contract rests on these small functions —
+object ids must survive the storage boundary with their Python type
+intact, member-set text must be unambiguous for *any* legal id (including
+ids containing commas, quotes, or JSON-looking text), and the identity /
+rank keys must be deterministic so the idempotent upsert and the ranked
+enumeration both have a single canonical answer.
+"""
+
+import json
+
+import pytest
+
+from repro.core.convoy import Convoy
+from repro.store import (
+    TOP_K_KEYS,
+    convoy_identity,
+    decode_object_id,
+    encode_members,
+    encode_object_id,
+    rank_key,
+)
+from repro.store.base import row_to_convoy
+
+
+class TestObjectIdEncoding:
+    @pytest.mark.parametrize("object_id", [
+        "a", "", "o,b", 'x"y', "[1,2]", "null", "5", 0, 5, -17, 10**40,
+        "héllo\n\t", "\\\"", ":"
+    ])
+    def test_round_trips_exactly(self, object_id):
+        encoded = encode_object_id(object_id)
+        decoded = decode_object_id(encoded)
+        assert decoded == object_id
+        assert type(decoded) is type(object_id)
+
+    def test_int_and_str_stay_distinct(self):
+        assert encode_object_id(5) != encode_object_id("5")
+
+    @pytest.mark.parametrize("bad", [True, False, 1.5, None, (1,), b"a"])
+    def test_rejects_non_json_exact_types(self, bad):
+        with pytest.raises(TypeError, match="must be str or int"):
+            encode_object_id(bad)
+
+
+class TestMemberEncoding:
+    def test_is_valid_json_and_order_free(self):
+        text = encode_members(["b", "a", "c"])
+        assert text == encode_members(["c", "a", "b"])
+        assert json.loads(text) == ["a", "b", "c"]
+
+    def test_adversarial_ids_stay_unambiguous(self):
+        # A comma-joined naive encoding would confuse these two sets.
+        members_one = {"a,b"}
+        members_two = {"a", "b"}
+        assert encode_members(members_one) != encode_members(members_two)
+        assert json.loads(encode_members(members_one)) == ["a,b"]
+
+    def test_mixed_types_sort_deterministically(self):
+        text = encode_members([3, "a", 1, "b"])
+        assert json.loads(text) == json.loads(encode_members(["b", 1, "a", 3]))
+
+
+class TestConvoyIdentity:
+    def test_identity_is_interval_plus_members(self):
+        convoy = Convoy({"a", "b"}, 3, 9)
+        assert convoy_identity(convoy) == '3:9:["a","b"]'
+
+    def test_equal_convoys_share_identity(self):
+        assert convoy_identity(Convoy({"b", "a"}, 0, 4)) == \
+            convoy_identity(Convoy({"a", "b"}, 0, 4))
+
+    def test_distinct_in_every_dimension(self):
+        base = Convoy({"a", "b"}, 0, 4)
+        for other in (Convoy({"a", "b"}, 1, 4), Convoy({"a", "b"}, 0, 5),
+                      Convoy({"a", "c"}, 0, 4)):
+            assert convoy_identity(other) != convoy_identity(base)
+
+
+class TestRowToConvoy:
+    def test_rebuilds_the_mined_convoy(self):
+        convoy = Convoy({"a", 5, "x,y"}, 2, 8)
+        rebuilt = row_to_convoy(2, 8, encode_members(convoy.objects))
+        assert rebuilt == convoy
+        assert {type(o) for o in rebuilt.objects} == {str, int}
+
+
+class TestRankKey:
+    def test_size_then_duration(self):
+        big = Convoy({"a", "b", "c"}, 0, 3)
+        small_long = Convoy({"a", "b"}, 0, 9)
+        assert rank_key(big, "size") < rank_key(small_long, "size")
+        assert rank_key(small_long, "duration") < rank_key(big, "duration")
+
+    def test_ties_break_on_canonical_interval_order(self):
+        first = Convoy({"a", "b"}, 0, 4)
+        second = Convoy({"c", "d"}, 1, 5)
+        for by in TOP_K_KEYS:
+            assert rank_key(first, by) < rank_key(second, by)
+
+    def test_rejects_unknown_dimension(self):
+        with pytest.raises(ValueError, match="size.*duration"):
+            rank_key(Convoy({"a", "b"}, 0, 4), "area")

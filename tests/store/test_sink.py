@@ -1,0 +1,109 @@
+"""Unit suite for :class:`~repro.store.sink.StoreSink`.
+
+Pins the sink's three jobs in isolation from the engine: tick-batched
+commits with honest stored/replayed counters, bounding boxes computed
+from exactly the positions the convoy's members reported during its
+interval, and a position log pruned to the tracker's live horizon so
+the sink never changes the pipeline's memory class.
+"""
+
+import pytest
+
+from repro.core.convoy import Convoy
+from repro.geometry.bbox import BoundingBox
+from repro.store import SQLiteConvoyStore, StoreSink
+
+
+@pytest.fixture
+def store():
+    with SQLiteConvoyStore(":memory:") as s:
+        yield s
+
+
+class TestCommit:
+    def test_write_buffers_until_commit(self, store):
+        sink = StoreSink(store)
+        sink.write([Convoy({"a", "b"}, 0, 2)])
+        assert store.count() == 0
+        sink.commit()
+        assert store.count() == 1
+
+    def test_counters_split_stored_and_replayed(self, store):
+        counters = {}
+        sink = StoreSink(store, counters=counters)
+        convoy = Convoy({"a", "b"}, 0, 2)
+        sink.write([convoy])
+        sink.commit()
+        sink.write([convoy, Convoy({"c", "d"}, 1, 4)])
+        sink.commit()
+        assert counters["stored_convoys"] == 2
+        assert counters["replayed_convoys"] == 1
+
+    def test_empty_commit_is_free(self, store):
+        counters = {}
+        StoreSink(store, counters=counters).commit()
+        assert counters == {"stored_convoys": 0, "replayed_convoys": 0}
+
+
+class TestBoundingBoxes:
+    def test_box_covers_members_over_the_interval_only(self, store):
+        sink = StoreSink(store)
+        # Tick 0-2 belong to the convoy; tick 3 (far away) does not, and
+        # object "z" is never a member.
+        sink.observe(0, {"a": (0.0, 0.0), "b": (1.0, 2.0), "z": (99.0, 99.0)})
+        sink.observe(1, {"a": (2.0, 1.0), "b": (1.0, 0.5)})
+        sink.observe(2, {"a": (1.5, 3.0), "b": (0.5, 1.0)})
+        sink.observe(3, {"a": (50.0, 50.0), "b": (50.0, 50.0)})
+        convoy = Convoy({"a", "b"}, 0, 2)
+        sink.write([convoy])
+        sink.commit()
+        assert store.bbox_of(convoy) == BoundingBox(0.0, 0.0, 2.0, 3.0)
+
+    def test_member_absent_from_a_tick_is_skipped(self, store):
+        sink = StoreSink(store)
+        sink.observe(0, {"a": (0.0, 0.0), "b": (1.0, 1.0)})
+        sink.observe(1, {"a": (2.0, 2.0)})  # b unreported this tick
+        convoy = Convoy({"a", "b"}, 0, 1)
+        sink.write([convoy])
+        sink.commit()
+        assert store.bbox_of(convoy) == BoundingBox(0.0, 0.0, 2.0, 2.0)
+
+    def test_no_observations_means_no_box(self, store):
+        sink = StoreSink(store)
+        convoy = Convoy({"a", "b"}, 0, 2)
+        sink.write([convoy])
+        sink.commit()
+        assert store.bbox_of(convoy) is None
+
+
+class TestPositionLogPruning:
+    def test_prunes_below_the_live_horizon(self, store):
+        sink = StoreSink(store)
+        for t in range(6):
+            sink.observe(t, {"a": (float(t), 0.0)})
+        sink.commit(oldest_live_start=4)
+        assert sorted(sink._positions) == [4, 5]
+
+    def test_no_live_chain_clears_the_log(self, store):
+        sink = StoreSink(store)
+        sink.observe(0, {"a": (0.0, 0.0)})
+        sink.commit(oldest_live_start=None)
+        assert sink._positions == {}
+
+
+class TestClose:
+    def test_close_commits_pending(self, store):
+        sink = StoreSink(store)
+        sink.write([Convoy({"a", "b"}, 0, 2)])
+        sink.close()
+        assert store.count() == 1
+        assert not store._closed  # sink does not own this store
+
+    def test_owned_store_is_closed(self, tmp_path):
+        store = SQLiteConvoyStore(tmp_path / "c.db")
+        sink = StoreSink(store, owns_store=True)
+        sink.write([Convoy({"a", "b"}, 0, 2)])
+        sink.close()
+        assert store._closed
+        with SQLiteConvoyStore(tmp_path / "c.db") as reopened:
+            assert reopened.count() == 1

@@ -4,6 +4,11 @@ import json
 import math
 import time
 
+from benchmarks.bench_convoy_store import (
+    ROW_KEYS as STORE_ROW_KEYS,
+    run_query,
+    run_write,
+)
 from benchmarks.bench_sharded_scaling import (
     SMOKE_SCALE,
     run_bytes,
@@ -301,3 +306,72 @@ class TestShardedScalingBenchSchema:
             "unsharded", "serial", "serial"
         ]
         assert set(loaded["rows"][1]) == self.ROW_KEYS
+
+
+class TestConvoyStoreBenchSchema:
+    """Schema guard for ``BENCH_convoy_store.json``: the trajectory
+    consumers chart write-through overhead and index speedup keyed on
+    these row fields, so the bench's row shape is pinned here.
+
+    Tiny scales keep this a schema test — the 15%/10x acceptance bars
+    are asserted by the bench itself on its real workload sizes."""
+
+    ROW_KEYS = set(STORE_ROW_KEYS)
+
+    WRITE_SCALE = dict(n_objects=40, n_snapshots=12, group_count=5,
+                       group_size=8, jitter=0.2, reps=1)
+    QUERY_SCALE = dict(population=200, domain=800, max_life=10,
+                       windows=5, width=4, reps=1)
+
+    def test_write_pass_rows(self, tmp_path):
+        rows, overhead = run_write(self.WRITE_SCALE, tmp_path)
+        assert [row["mode"] for row in rows] == ["plain", "store"]
+        for row in rows:
+            assert set(row) == self.ROW_KEYS
+            assert row["pass"] == "write"
+            assert row["snapshots"] == 12
+            assert row["convoys"] > 0
+        plain, store = rows
+        assert plain["write_overhead"] is None
+        assert plain["sink_seconds"] is None
+        assert store["write_overhead"] == overhead
+        assert store["sink_seconds"] is not None
+        assert store["stored"] > 0
+        assert overhead > 0 and math.isfinite(overhead)
+
+    def test_query_pass_rows(self, tmp_path):
+        rows, speedup = run_query(self.QUERY_SCALE, tmp_path)
+        assert [row["mode"] for row in rows] == [
+            "indexed", "scan", "top_k"
+        ]
+        for row in rows:
+            assert set(row) == self.ROW_KEYS
+            assert row["pass"] == "query"
+            assert row["population"] == 200
+            # Query rows carry no write-pass accounting.
+            assert row["write_overhead"] is None
+        indexed, scan, _top_k = rows
+        # Both plans must have returned the same row count.
+        assert indexed["convoys"] == scan["convoys"]
+        assert indexed["speedup_vs_scan"] == speedup
+        assert speedup is None or (
+            isinstance(speedup, float) and math.isfinite(speedup)
+        )
+
+    def test_rows_round_trip_through_the_writer(self, tmp_path):
+        write_rows, _ = run_write(self.WRITE_SCALE, tmp_path)
+        query_rows, _ = run_query(self.QUERY_SCALE, tmp_path)
+        path = tmp_path / "BENCH_convoy_store.json"
+        write_bench_json(
+            path, "convoy_store",
+            {"m": 5, "k": 8, "eps": 8.0, "smoke": True},
+            write_rows + query_rows,
+        )
+        with open(path) as handle:
+            loaded = json.load(handle)
+        assert loaded["bench"] == "convoy_store"
+        assert [row["pass"] for row in loaded["rows"]] == [
+            "write", "write", "query", "query", "query"
+        ]
+        for row in loaded["rows"]:
+            assert set(row) == self.ROW_KEYS

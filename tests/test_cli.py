@@ -624,3 +624,149 @@ class TestStreamRateReporting:
         assert code == 0
         assert "snapshots/s" in text
         assert "inf" not in text
+
+
+class TestStreamStore:
+    def test_store_round_trips_through_query(self, convoy_csv, tmp_path):
+        db = tmp_path / "convoys.db"
+        code, text = run_cli(
+            ["stream", str(convoy_csv), "-m", "2", "-k", "10", "-e", "2.0",
+             "--quiet", "--store", str(db)]
+        )
+        assert code == 0
+        assert "store: 1 convoy(s) stored, 0 replayed" in text
+        code, text = run_cli(["query", str(db), "--alive", "0:15", "--json"])
+        assert code == 0
+        payload = json.loads(text)
+        assert payload["count"] == 1
+        assert payload["store_count"] == 1
+        (convoy,) = payload["convoys"]
+        assert convoy["objects"] == ["a", "b"]
+        assert convoy["t_start"] == 0
+        assert convoy["t_end"] == 19
+        assert convoy["bbox"] is not None
+
+    def test_rerun_replays_idempotently(self, convoy_csv, tmp_path):
+        db = tmp_path / "convoys.db"
+        argv = ["stream", str(convoy_csv), "-m", "2", "-k", "10", "-e",
+                "2.0", "--quiet", "--store", str(db)]
+        assert run_cli(argv)[0] == 0
+        code, text = run_cli(argv)
+        assert code == 0
+        assert "store: 0 convoy(s) stored, 1 replayed" in text
+
+    def test_store_composes_with_sharding(self, tmp_path):
+        db = tmp_path / "convoys.db"
+        code, text = run_cli(
+            ["stream", "--synthetic", "40x20", "--seed", "3", "-m", "3",
+             "-k", "5", "-e", "10.0", "--quiet", "--shards", "2",
+             "--store", str(db)]
+        )
+        assert code == 0
+        assert "stored" in text
+        code, text = run_cli([
+            "query", str(db), "--top-k", "3", "--by", "duration"])
+        assert code == 0
+        assert "convoy(s) matched" in text
+
+
+class TestQuery:
+    @pytest.fixture
+    def store_db(self, convoy_csv, tmp_path):
+        db = tmp_path / "convoys.db"
+        code, _ = run_cli(
+            ["stream", str(convoy_csv), "-m", "2", "-k", "10", "-e", "2.0",
+             "--quiet", "--store", str(db)]
+        )
+        assert code == 0
+        return db
+
+    def test_text_output(self, store_db):
+        code, text = run_cli(["query", str(store_db), "--alive", "0:5"])
+        assert code == 0
+        assert "t=[0,19] objects=a,b bbox=" in text
+        assert "1 convoy(s) matched (store holds 1" in text
+
+    def test_containing_matches_both_id_types(self, store_db, tmp_path):
+        from repro.core.convoy import Convoy
+        from repro.store import open_store
+
+        with open_store(store_db) as store:
+            store.add(Convoy({5, "x"}, 0, 4))
+            store.add(Convoy({"5", "y"}, 1, 6))
+        code, text = run_cli(["query", str(store_db), "--containing", "5",
+                              "--json"])
+        assert code == 0
+        payload = json.loads(text)
+        assert payload["count"] == 2
+        code, text = run_cli(["query", str(store_db), "--containing", "x"])
+        assert code == 0
+        assert "1 convoy(s) matched" in text
+
+    def test_containing_miss_is_empty_not_an_error(self, store_db):
+        code, text = run_cli(["query", str(store_db), "--containing", "zz"])
+        assert code == 0
+        assert "0 convoy(s) matched" in text
+
+    def test_intersecting(self, store_db):
+        code, text = run_cli(
+            ["query", str(store_db), "--intersecting", "0:0:5:25"])
+        assert code == 0
+        assert "1 convoy(s) matched" in text
+        code, text = run_cli(
+            ["query", str(store_db), "--intersecting", "50:50:60:60"])
+        assert code == 0
+        assert "0 convoy(s) matched" in text
+
+    def test_top_k_composes_with_alive(self, store_db):
+        code, text = run_cli(
+            ["query", str(store_db), "--alive", "0:5", "--top-k", "1",
+             "--by", "size", "--json"])
+        assert code == 0
+        payload = json.loads(text)
+        assert payload["query"]["top_k"] == 1
+        assert payload["query"]["by"] == "size"
+        assert payload["count"] == 1
+
+    def test_missing_store_is_an_error(self, tmp_path):
+        missing = tmp_path / "nope.db"
+        code, text = run_cli(["query", str(missing), "--alive", "0:5"])
+        assert code == 2
+        assert "no such store" in text
+        assert not missing.exists()  # the query must not create it
+
+    def test_mode_validation(self, store_db):
+        code, text = run_cli(["query", str(store_db)])
+        assert code == 2
+        assert "at least one of" in text
+        code, text = run_cli(["query", str(store_db), "--alive", "0:5",
+                              "--containing", "a"])
+        assert code == 2
+        assert "pick one of" in text
+        code, text = run_cli(["query", str(store_db), "--containing", "a",
+                              "--top-k", "2"])
+        assert code == 2
+        assert "--top-k only composes with --alive" in text
+        code, text = run_cli(["query", str(store_db), "--top-k", "0"])
+        assert code == 2
+        assert "bad --top-k" in text
+
+    def test_window_and_box_validation(self, store_db):
+        code, text = run_cli(["query", str(store_db), "--alive", "9:2"])
+        assert code == 2
+        assert "reversed" in text
+        code, text = run_cli(["query", str(store_db), "--alive", "abc"])
+        assert code == 2
+        assert "bad query window/box" in text
+        code, text = run_cli(
+            ["query", str(store_db), "--intersecting", "1:2:3"])
+        assert code == 2
+        assert "bad query window/box" in text
+
+    def test_box_corners_any_order(self, store_db):
+        code_a, text_a = run_cli(
+            ["query", str(store_db), "--intersecting", "5:25:0:0"])
+        code_b, text_b = run_cli(
+            ["query", str(store_db), "--intersecting", "0:0:5:25"])
+        assert code_a == code_b == 0
+        assert text_a == text_b
