@@ -1,13 +1,17 @@
 """Command-line interface for convoy discovery.
 
-Six subcommands mirror the workflows a practitioner needs:
+Seven subcommands mirror the workflows a practitioner needs:
 
 * ``repro-convoy discover`` — run a convoy query over a CSV of
   ``object_id,t,x,y`` rows with any of the four algorithms;
 * ``repro-convoy stream`` — run the same query online, snapshot by
   snapshot, printing each convoy the moment it closes (from a CSV replay
   or a seeded synthetic stream); ``--store convoys.db`` persists every
-  convoy into a crash-safe SQLite store as it closes;
+  convoy into a crash-safe SQLite store as it closes; a mid-stream
+  Ctrl-C commits every completed tick and exits 130;
+* ``repro-convoy serve`` — run the async multi-tenant ingestion service:
+  many independent tenant streams multiplexed over a shared worker
+  pool, NDJSON over TCP (see :mod:`repro.service`);
 * ``repro-convoy query`` — answer time-window / membership / bbox /
   top-k questions over a persisted convoy store, from its indexes;
 * ``repro-convoy stats`` — print a dataset's Table 3-style statistics;
@@ -24,8 +28,10 @@ prints machine-readable JSON for downstream tooling.
 from __future__ import annotations
 
 import argparse
+import asyncio
 import json
 import os
+import signal
 import sys
 import time
 
@@ -37,6 +43,7 @@ from repro.core.verification import normalize_convoys
 from repro.datasets.paperlike import DATASETS
 from repro.geometry.bbox import BoundingBox
 from repro.io.csv_io import load_trajectories_csv, save_trajectories_csv
+from repro.service import DEFAULT_MAX_QUEUE, IngestionServer
 from repro.simplification import SIMPLIFIERS, simplification_report
 from repro.store import TOP_K_KEYS, convoy_identity, open_store
 from repro.streaming import (
@@ -165,6 +172,11 @@ def build_parser():
         "(numpy-accelerated when available; identical convoys either "
         "way; default: python)",
     )
+    stream.add_argument(
+        "--pace", type=float, default=0.0, metavar="SECONDS",
+        help="sleep SECONDS before each snapshot — replay a recorded "
+        "stream at a live cadence (default: 0, as fast as possible)",
+    )
     stream.add_argument("--quiet", action="store_true",
                         help="suppress per-convoy lines; print the summary only")
     stream.add_argument("--output", default=None,
@@ -181,6 +193,29 @@ def build_parser():
         "(one transaction per tick, crash-safe, idempotent on convoy "
         "identity — re-running the same stream adds nothing); query it "
         "back with the 'query' subcommand",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the async multi-tenant ingestion service (NDJSON over "
+        "TCP; see repro.service for the protocol)",
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=0,
+                       help="bind port (default: 0 — pick a free one and "
+                       "print it)")
+    serve.add_argument(
+        "--workers", type=int, default=4, metavar="N",
+        help="worker threads shared by every tenant's miner steps "
+        "(default: 4)",
+    )
+    serve.add_argument(
+        "--max-queue", type=int, default=DEFAULT_MAX_QUEUE, metavar="N",
+        help="per-tenant ingestion high-water mark: past N queued "
+        "snapshots the service stops reading that tenant's feed until "
+        "the dispatcher catches up (credit-based, nothing is dropped; "
+        f"default: {DEFAULT_MAX_QUEUE})",
     )
 
     query = sub.add_parser(
@@ -302,6 +337,9 @@ def _cmd_stream(args, out):
     if args.jitter < 0:
         print(f"bad --jitter value: must be >= 0, got {args.jitter}", file=out)
         return 2
+    if args.pace < 0:
+        print(f"bad --pace value: must be >= 0, got {args.pace}", file=out)
+        return 2
     if args.synthetic is not None:
         try:
             n_objects, n_snapshots = _parse_synthetic_shape(args.synthetic)
@@ -375,6 +413,7 @@ def _cmd_stream(args, out):
         print(f"bad query parameters: {exc}", file=out)
         return 2
     convoys = []
+    interrupted = False
     started = time.perf_counter()
     # The context manager releases pooled executor backends on every exit
     # path — including the stream-error return below, which used to leak
@@ -382,6 +421,8 @@ def _cmd_stream(args, out):
     with miner:
         try:
             for t, snapshot in source:
+                if args.pace:
+                    time.sleep(args.pace)
                 for convoy in miner.feed(t, snapshot):
                     convoys.append(convoy)
                     if not args.quiet:
@@ -396,14 +437,31 @@ def _cmd_stream(args, out):
             # violation.
             print(f"stream error: {exc}", file=out)
             return 1
-        for convoy in miner.flush():
-            convoys.append(convoy)
-            if not args.quiet:
-                members = ",".join(
-                    str(o) for o in sorted(convoy.objects, key=str)
-                )
-                print(f"  open at end of stream: t=[{convoy.t_start},"
-                      f"{convoy.t_end}] objects={members}", file=out)
+        except KeyboardInterrupt:
+            # Ctrl-C mid-stream: stop feeding and skip the flush (open
+            # chains are not part of the committed prefix), but fall
+            # through the context manager so the miner closes cleanly —
+            # the store sink commits every completed tick and rolls any
+            # half-open transaction back, instead of the interrupt
+            # unwinding past both and losing the tail.
+            interrupted = True
+        if not interrupted:
+            for convoy in miner.flush():
+                convoys.append(convoy)
+                if not args.quiet:
+                    members = ",".join(
+                        str(o) for o in sorted(convoy.objects, key=str)
+                    )
+                    print(f"  open at end of stream: t=[{convoy.t_start},"
+                          f"{convoy.t_end}] objects={members}", file=out)
+    if interrupted:
+        print(
+            f"interrupted after {miner.counters['snapshots']} snapshot(s)"
+            + (f"; {miner.counters['stored_convoys']} convoy(s) committed "
+               f"to {args.store}" if args.store is not None else ""),
+            file=out,
+        )
+        return 130
     elapsed = time.perf_counter() - started
     counters = miner.counters
     snapshots = counters["snapshots"]
@@ -703,9 +761,54 @@ def _cmd_generate(args, out):
     return 0
 
 
+def _cmd_serve(args, out):
+    if args.workers < 1:
+        print(f"bad --workers value: must be >= 1, got {args.workers}",
+              file=out)
+        return 2
+    if args.max_queue < 1:
+        print(f"bad --max-queue value: must be >= 1, got {args.max_queue}",
+              file=out)
+        return 2
+
+    async def run():
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        async with IngestionServer(
+            args.host, args.port,
+            max_workers=args.workers, max_queue=args.max_queue,
+        ) as server:
+            # The port line is the readiness signal: printed (and
+            # flushed) only once the socket is bound, so a supervising
+            # process can parse it and connect immediately.
+            print(f"serving on {server.host}:{server.port} "
+                  f"({args.workers} worker(s), high-water "
+                  f"{args.max_queue})", file=out, flush=True)
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                loop.add_signal_handler(signum, stop.set)
+            try:
+                await stop.wait()
+            finally:
+                for signum in (signal.SIGINT, signal.SIGTERM):
+                    loop.remove_signal_handler(signum)
+            totals = server.aggregate()
+        # The server context closed every open session on the way out:
+        # miners closed, store transactions committed or rolled back —
+        # each tenant's store holds a clean prefix of completed ticks.
+        print(
+            f"interrupted: served {totals['tenants']} tenant(s), "
+            f"{totals['ticks']} snapshot(s), {totals['convoys_closed']} "
+            f"convoy(s) closed", file=out, flush=True,
+        )
+        return 130
+
+    return asyncio.run(run())
+
+
 COMMANDS = {
     "discover": _cmd_discover,
     "stream": _cmd_stream,
+    "serve": _cmd_serve,
     "query": _cmd_query,
     "stats": _cmd_stats,
     "simplify": _cmd_simplify,

@@ -1,0 +1,144 @@
+"""A small asyncio client for the ingestion protocol.
+
+:class:`ServiceClient` is the reference speaker of
+:mod:`repro.service.protocol`: tests, the CI smoke leg, and the
+ingestion bench all drive the server through it, and it doubles as the
+executable documentation of the message flow::
+
+    async with ServiceClient("127.0.0.1", port) as client:
+        await client.hello("tenant-a", {"m": 2, "k": 3, "eps": 2.0})
+        await client.feed("tenant-a", [(0, {"a": (0.0, 0.0)}), ...])
+        answer = await client.flush("tenant-a")
+        answer["convoys"]   # the stream's full normalized answer
+        answer["counters"]  # the miner's counters, bit for bit
+
+The client is sequential on purpose — one connection, one coroutine —
+because per-tenant ordering is the thing the tests assert; concurrency
+across tenants comes from running many clients (or many tenants'
+``feed`` batches interleaved on one client).
+
+``closed`` events arriving between replies are buffered per tenant and
+folded into :meth:`flush`'s combined answer, so callers usually only
+look at the ``flushed`` payload.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import collections
+
+from repro.service.protocol import (
+    STREAM_LIMIT,
+    ProtocolError,
+    decode,
+    encode,
+    encode_snapshot,
+)
+
+
+class ServiceError(RuntimeError):
+    """An ``error`` event received from the server."""
+
+    def __init__(self, event):
+        super().__init__(event.get("error", "unknown service error"))
+        self.event = event
+
+
+class ServiceClient:
+    """Drive one ingestion connection (see the module docstring)."""
+
+    def __init__(self, host, port):
+        self.host = host
+        self.port = port
+        self._reader = None
+        self._writer = None
+        #: ``closed`` events seen so far, per tenant (inspection seam).
+        self.closed_events = collections.defaultdict(list)
+
+    async def connect(self):
+        # Match the server's raised line limit — a ``flushed`` reply
+        # carries the stream's whole answer in one frame.
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port, limit=STREAM_LIMIT
+        )
+        return self
+
+    async def close(self):
+        if self._writer is None:
+            return
+        try:
+            self._writer.write(encode({"type": "bye"}))
+            await self._writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        self._writer = None
+        self._reader = None
+
+    async def __aenter__(self):
+        return await self.connect()
+
+    async def __aexit__(self, exc_type, exc_value, traceback):
+        await self.close()
+        return False
+
+    async def _send(self, message):
+        self._writer.write(encode(message))
+        await self._writer.drain()
+
+    async def _next_event(self):
+        line = await self._reader.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return decode(line)
+
+    async def _wait_for(self, wanted, tenant):
+        """Read events until ``wanted`` arrives for ``tenant``; buffer
+        ``closed`` events on the way; raise on ``error``."""
+        while True:
+            event = await self._next_event()
+            kind = event["type"]
+            if kind == "closed":
+                self.closed_events[event["tenant"]].append(event)
+                continue
+            if kind == "error":
+                raise ServiceError(event)
+            if kind == wanted and event.get("tenant") == tenant:
+                return event
+            raise ProtocolError(
+                f"expected {wanted!r} for {tenant!r}, got {event!r}"
+            )
+
+    async def hello(self, tenant, config):
+        """Open ``tenant`` with the given miner config; await ready."""
+        await self._send(
+            {"type": "hello", "tenant": tenant, "config": config}
+        )
+        return await self._wait_for("ready", tenant)
+
+    async def feed(self, tenant, ticks):
+        """Send one batch of ``(t, {object_id: (x, y)})`` ticks.
+
+        Returns after the batch is *written*; convoys close
+        asynchronously and are collected by :meth:`flush`.
+        """
+        await self._send({
+            "type": "feed",
+            "tenant": tenant,
+            "ticks": [
+                [t, encode_snapshot(snapshot)] for t, snapshot in ticks
+            ],
+        })
+
+    async def drain(self, tenant):
+        """Ask for an idle-drain of the tenant's reorder buffer."""
+        await self._send({"type": "drain", "tenant": tenant})
+
+    async def flush(self, tenant):
+        """End the tenant's feed; return the ``flushed`` payload."""
+        await self._send({"type": "flush", "tenant": tenant})
+        return await self._wait_for("flushed", tenant)

@@ -170,8 +170,17 @@ class ConvoyStore:
         stored without one, or is not stored at all)."""
         raise NotImplementedError
 
+    def rollback(self):
+        """Abandon any open explicit transaction (idempotent; a no-op
+        when nothing is open or the store is closed).  The error-path
+        escape hatch: a failed mid-tick commit must never leave the
+        backend's transaction dangling.  Backends without explicit
+        transactions may keep the default no-op."""
+        return None
+
     def close(self):
-        """Release the backend's resources (idempotent)."""
+        """Release the backend's resources (idempotent), rolling back
+        any transaction still open."""
         raise NotImplementedError
 
     def __enter__(self):

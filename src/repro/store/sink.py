@@ -50,6 +50,7 @@ class StoreSink:
         self._owns_store = owns_store
         self._positions = {}  # t -> {object_id: (x, y)}
         self._pending = []  # convoys closed since the last commit
+        self._closed = False
 
     def observe(self, t, snapshot):
         """Record one tick's positions (for bounding-box computation)."""
@@ -70,13 +71,17 @@ class StoreSink:
                 interval.
         """
         if self._pending:
-            batch = self._pending
-            self._pending = []
+            # The buffer empties only once the batch is durably in the
+            # store: a commit that raises keeps its convoys pending, so
+            # a later retry (or the close-time final commit) still
+            # persists them instead of silently dropping the tick.
             stored = self.store.add_batch(
-                batch, bboxes=[self._bbox_for(c) for c in batch]
+                self._pending,
+                bboxes=[self._bbox_for(c) for c in self._pending],
             )
             self.counters["stored_convoys"] += stored
-            self.counters["replayed_convoys"] += len(batch) - stored
+            self.counters["replayed_convoys"] += len(self._pending) - stored
+            self._pending = []
         if self._positions:
             if oldest_live_start is None:
                 self._positions.clear()
@@ -113,10 +118,29 @@ class StoreSink:
 
     def close(self):
         """Commit anything still buffered, then release the store if
-        this sink owns it (idempotent)."""
+        this sink owns it.
+
+        Idempotent and exception-safe: a second call is a no-op, and
+        when the final commit fails (typically re-raising whatever
+        already failed mid-tick) the store's open transaction is rolled
+        back — never left dangling in the WAL — before the error
+        propagates from this first close.  The store is released either
+        way when this sink owns it.
+        """
+        if self._closed:
+            return
+        self._closed = True
         try:
-            self.commit()
+            try:
+                self.commit()
+            except BaseException:
+                # add_batch rolls its own transaction back, but a store
+                # handed in mid-batch (or a non-SQLite backend) may not:
+                # make the no-dangling-transaction guarantee locally.
+                self.store.rollback()
+                raise
         finally:
             self._positions.clear()
+            self._pending = []
             if self._owns_store:
                 self.store.close()

@@ -130,7 +130,15 @@ class SQLiteConvoyStore(ConvoyStore):
         # Explicit transaction control: the connection stays in
         # autocommit and every write path wraps itself in BEGIN/COMMIT,
         # so a tick batch is exactly one WAL commit.
-        self._con = sqlite3.connect(self.path, isolation_level=None)
+        # check_same_thread=False: callers may open a store on one
+        # thread and step it from another (the ingestion service runs
+        # miner steps on a worker pool).  Access is still serialized —
+        # every user of a store (sink, session, CLI) runs one operation
+        # at a time — and the sqlite3 module itself is compiled
+        # thread-safe, so only the same-thread *handoff* is relaxed.
+        self._con = sqlite3.connect(
+            self.path, isolation_level=None, check_same_thread=False
+        )
         self._con.execute("PRAGMA foreign_keys = ON")
         if self.path != ":memory:":
             self._con.execute("PRAGMA journal_mode = WAL")
@@ -457,8 +465,24 @@ class SQLiteConvoyStore(ConvoyStore):
 
     # -- lifecycle ---------------------------------------------------
 
+    def rollback(self):
+        """Abandon any open explicit transaction (idempotent; safe on a
+        closed store).  Covers the error paths the happy-path writers
+        cannot: a :meth:`batch` abandoned without ``__exit__``, or a
+        caller unwinding past a raised commit — either would otherwise
+        leave the WAL transaction open, blocking every later writer
+        until the connection died."""
+        if self._closed:
+            return
+        self._in_batch = False
+        if self._con.in_transaction:
+            self._con.execute("ROLLBACK")
+
     def close(self):
         if not self._closed:
+            # Never leave a WAL transaction dangling: anything still
+            # open at close time is an abandoned error-path batch.
+            self.rollback()
             self._closed = True
             self._con.close()
 

@@ -309,6 +309,27 @@ class StreamingConvoyMiner:
             raise RuntimeError("stream already flushed; create a new miner")
         return self.pipeline.feed(t, snapshot)
 
+    def release_pending(self):
+        """Force the reorder buffer's pending snapshots through *now*.
+
+        The idle-drain seam for quiescent feeds: a capacity-only
+        ``reorder`` buffer (``max_pending`` without ``allowed_lateness``)
+        releases only under arrival pressure, so when the feed goes
+        quiet its last ``< max_pending`` snapshots would stay buffered
+        indefinitely — neither mined nor lost, just stalled.  A caller
+        that knows the feed is idle (the multi-tenant service, a
+        session-timeout sweep) uses this to ingest the tail without
+        ending the stream: the buffered snapshots run through the
+        pipeline in time order and the convoys they close are returned.
+        The miner stays live — ``feed`` keeps working, though arrivals
+        at or below the released timestamps are now late and fall to
+        the buffer's ``late_policy``.  A no-op returning ``[]`` for
+        miners without a reorder buffer.
+        """
+        if self._flushed:
+            raise RuntimeError("stream already flushed; create a new miner")
+        return self.pipeline.release_pending()
+
     def flush(self):
         """End the stream: close every open chain, return the qualifiers.
 

@@ -80,6 +80,14 @@ class IngestStage:
             return []
         return [self._order(rt, rs) for rt, rs in self.reorder.drain()]
 
+    def release_all(self):
+        """Mid-stream idle drain: force-release everything the reorder
+        buffer holds, without ending the stream (no-op when there is no
+        buffer — an unbuffered stage never holds snapshots back)."""
+        if self.reorder is None:
+            return []
+        return [self._order(rt, rs) for rt, rs in self.reorder.release_all()]
+
     def _order(self, t, snapshot):
         if self.last_time is not None and t <= self.last_time:
             raise ValueError(
@@ -251,6 +259,14 @@ class StreamingPipeline:
         for tick_t, tick_snapshot, gap in self.ingest.drain():
             closed.extend(self._run_tick(tick_t, tick_snapshot, gap))
         closed.extend(self.emit.emit_flush(self.track.flush()))
+        return closed
+
+    def release_pending(self):
+        """Idle drain: run every snapshot the ingest stage still holds
+        through the remaining stages, without ending the stream."""
+        closed = []
+        for tick_t, tick_snapshot, gap in self.ingest.release_all():
+            closed.extend(self._run_tick(tick_t, tick_snapshot, gap))
         return closed
 
     def close(self):

@@ -202,6 +202,23 @@ class ReorderBuffer:
 
     def drain(self):
         """End of stream: release every pending snapshot, in time order."""
+        return self.release_all()
+
+    def release_all(self):
+        """Release every pending snapshot *now*, in time order.
+
+        The idle-drain seam: a capacity-only buffer (``max_pending``
+        without ``allowed_lateness``) has no watermark, so only arrival
+        pressure forces releases — on a quiescent feed its last
+        ``< max_pending`` snapshots would sit buffered forever.  A
+        caller that knows the feed has gone idle (the multi-tenant
+        service's dispatcher, a session-timeout sweep) calls this to
+        push the tail through; the buffer stays usable afterwards, with
+        the released timestamps now closed — a later arrival at or
+        below them falls to the ``late_policy`` like any other late
+        snapshot.  :meth:`drain` is exactly this release at end of
+        stream.
+        """
         released = []
         while self._heap:
             released.append(self._pop())

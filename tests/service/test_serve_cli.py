@@ -1,0 +1,172 @@
+"""Subprocess suite for the ``serve`` CLI subcommand.
+
+Runs the real ``repro-convoy serve`` process on loopback and proves the
+two ends of its lifecycle:
+
+* **round trip** — tenants driven through the real socket get exactly
+  the answer a direct in-process run of the same miner config produces;
+* **SIGINT** — interrupting the server mid-ingestion exits 130 with an
+  ``interrupted`` summary, and a tenant's write-through store holds a
+  clean committed tick-prefix of its feed (the same contract the
+  ``stream`` Ctrl-C path and the SIGKILL crash test pin).
+"""
+
+import asyncio
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core.verification import normalize_convoys
+from repro.service import ServiceClient
+from repro.service.protocol import encode_convoy
+from repro.store import SQLiteConvoyStore, convoy_identity
+from repro.streaming import StreamingConvoyMiner, churn_stream
+
+QUERY = dict(m=3, k=3, eps=6.0)
+WORKLOAD = dict(n_objects=24, n_snapshots=120, seed=11, eps=6.0,
+                churn=0.15, turnover=0.06, area=60.0)
+DEADLINE = 60.0
+
+
+def workload_ticks():
+    return list(churn_stream(**WORKLOAD))
+
+
+def cumulative_prefixes():
+    """identity->convoy maps of everything emitted up to each tick."""
+    miner = StreamingConvoyMiner(QUERY["m"], QUERY["k"], QUERY["eps"])
+    prefixes, emitted = {}, {}
+    with miner:
+        for t, snapshot in workload_ticks():
+            for convoy in miner.feed(t, snapshot):
+                emitted[convoy_identity(convoy)] = convoy
+            prefixes[t] = dict(emitted)
+        miner.flush()
+    return prefixes
+
+
+def start_server(*extra_args):
+    env = dict(os.environ)
+    src = Path(__file__).resolve().parents[2] / "src"
+    env["PYTHONPATH"] = str(src) + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--workers", "2",
+         *extra_args],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+    )
+    banner = proc.stdout.readline()
+    if not banner:
+        proc.kill()
+        raise AssertionError(
+            "server printed no banner: " + proc.stderr.read()
+        )
+    # "serving on HOST:PORT (...)" — printed once the socket is bound.
+    port = int(banner.split()[2].rsplit(":", 1)[1])
+    return proc, port
+
+
+def finish(proc, timeout=30):
+    try:
+        stdout, stderr = proc.communicate(timeout=timeout)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        stdout, stderr = proc.communicate(timeout=timeout)
+        pytest.fail("server did not exit after SIGINT")
+    return stdout, stderr
+
+
+def store_count(db_path):
+    try:
+        with SQLiteConvoyStore(db_path) as store:
+            return store.count()
+    except Exception:
+        return 0  # not created yet
+
+
+class TestServeRoundTrip:
+    def test_two_tenants_match_direct_runs_then_sigint_exits_clean(self):
+        proc, port = start_server()
+        ticks = workload_ticks()[:40]
+        try:
+            async def drive():
+                async with ServiceClient("127.0.0.1", port) as client:
+                    await client.hello("a", dict(QUERY))
+                    await client.hello(
+                        "b", dict(QUERY, clusterer="incremental")
+                    )
+                    for start in range(0, len(ticks), 10):
+                        chunk = ticks[start:start + 10]
+                        await client.feed("a", chunk)
+                        await client.feed("b", chunk)
+                    return (await client.flush("a"),
+                            await client.flush("b"))
+
+            first, second = asyncio.run(drive())
+            counters = {}
+            miner = StreamingConvoyMiner(counters=counters, **QUERY)
+            convoys = []
+            with miner:
+                for t, snapshot in ticks:
+                    convoys.extend(miner.feed(t, snapshot))
+                convoys.extend(miner.flush())
+            want = [encode_convoy(c) for c in normalize_convoys(convoys)]
+            assert first["convoys"] == want
+            assert second["convoys"] == want
+            assert first["counters"] == counters
+        finally:
+            proc.send_signal(signal.SIGINT)
+            stdout, stderr = finish(proc)
+        assert proc.returncode == 130, stderr
+        assert "interrupted: served 2 tenant(s)" in stdout
+        assert f"{2 * len(ticks)} snapshot(s)" in stdout
+
+
+class TestServeSigint:
+    def test_sigint_mid_ingestion_commits_store_prefix(self, tmp_path):
+        prefixes = cumulative_prefixes()
+        db_path = str(tmp_path / "tenant.db")
+        proc, port = start_server()
+        try:
+            async def drive():
+                async with ServiceClient("127.0.0.1", port) as client:
+                    await client.hello("slow", dict(
+                        QUERY, store=db_path, tick_delay=0.01,
+                    ))
+                    # One big batch: the server paces through it at
+                    # tick_delay while we interrupt it from outside.
+                    await client.feed("slow", workload_ticks())
+                    deadline = time.monotonic() + DEADLINE
+                    while store_count(db_path) < 3:
+                        if time.monotonic() > deadline:
+                            pytest.fail("store never filled")
+                        await asyncio.sleep(0.02)
+                    proc.send_signal(signal.SIGINT)
+                    # The server tears the connection down; the bye in
+                    # close() may hit a dead socket, which it swallows.
+
+            asyncio.run(drive())
+            stdout, stderr = finish(proc)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate(timeout=30)
+        assert proc.returncode == 130, stderr
+        assert "interrupted: served 1 tenant(s)" in stdout
+
+        # Committed-prefix store state, through the real service stack.
+        with SQLiteConvoyStore(db_path) as store:
+            survived = store.all_convoys()
+            assert all(store.bbox_of(c) is not None for c in survived)
+        survived_ids = {convoy_identity(c) for c in survived}
+        matches = [t for t, prefix in prefixes.items()
+                   if survived_ids == set(prefix)]
+        assert matches, (
+            f"store is not a clean tick-prefix: holds "
+            f"{len(survived_ids)} identities"
+        )
+        assert len(survived_ids) >= 3

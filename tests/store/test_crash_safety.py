@@ -1,5 +1,6 @@
-"""Crash safety: SIGKILL mid-stream leaves a clean tick-prefix, and a
-restarted stream resumes into the same store without duplicates.
+"""Crash safety: SIGKILL (and SIGINT) mid-stream leaves a clean
+tick-prefix, and a restarted stream resumes into the same store without
+duplicates.
 
 The child process (``_crash_child.py``) mines a deterministic churn
 stream into a store and advertises tick ``t`` in a progress file only
@@ -16,6 +17,12 @@ emissions must equal an uncrashed run's, every pre-crash row must be
 accounted a replay (idempotent identity upsert), and the final store
 must be indistinguishable from one written in a single uninterrupted
 run.
+
+The SIGINT half exercises the *graceful* interrupt path through the
+real CLI: ``stream --store --pace`` is Ctrl-C'd mid-stream and must
+exit 130 with an ``interrupted after N snapshot(s)`` summary and the
+same committed-tick-prefix store guarantee — the regression being a
+mid-stream interrupt that unwound past the sink and lost the tail.
 """
 
 import os
@@ -159,3 +166,71 @@ class TestSigkillMidStream:
         with SQLiteConvoyStore(db_path) as store:
             assert store.count() == len(full)
             assert store.all_convoys() == canonical(full.values())
+
+
+def store_count(db_path):
+    """Count committed rows (WAL allows reading alongside the writer)."""
+    try:
+        with SQLiteConvoyStore(db_path) as store:
+            return store.count()
+    except Exception:
+        return 0  # child still creating the database
+
+
+class TestSigintMidStream:
+    def test_stream_cli_commits_prefix_and_exits_130(self, tmp_path,
+                                                     reference):
+        prefixes, _ = reference
+        csv_path = tmp_path / "workload.csv"
+        with open(csv_path, "w") as handle:
+            handle.write("object_id,t,x,y\n")
+            for t, snapshot in _crash_child.workload_ticks():
+                for object_id, (x, y) in snapshot.items():
+                    handle.write(f"{object_id},{t},{x},{y}\n")
+        db_path = str(tmp_path / "sigint.db")
+        env = dict(os.environ)
+        src = Path(__file__).resolve().parents[2] / "src"
+        env["PYTHONPATH"] = str(src) + os.pathsep + env.get("PYTHONPATH", "")
+        child = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "stream", str(csv_path),
+             "-m", str(_crash_child.QUERY["m"]),
+             "-k", str(_crash_child.QUERY["k"]),
+             "-e", str(_crash_child.QUERY["eps"]),
+             "--store", db_path, "--pace", str(TICK_SLEEP), "--quiet"],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+        )
+        try:
+            deadline = time.monotonic() + DEADLINE
+            while store_count(db_path) < 3:
+                if child.poll() is not None:
+                    pytest.fail(
+                        "child finished before the interrupt: "
+                        + child.stderr.read().decode()
+                    )
+                if time.monotonic() > deadline:
+                    pytest.fail("store never accumulated enough convoys")
+                time.sleep(0.005)
+            child.send_signal(signal.SIGINT)
+            stdout, stderr = child.communicate(timeout=30)
+        finally:
+            if child.poll() is None:
+                child.kill()
+                child.communicate(timeout=30)
+        assert child.returncode == 130, stderr.decode()
+        assert "interrupted after" in stdout.decode()
+        assert "snapshot(s)" in stdout.decode()
+
+        # The graceful-interrupt contract: the store holds *exactly*
+        # the convoys emitted up to some completed tick — the close
+        # path committed the tick in progress instead of losing it.
+        with SQLiteConvoyStore(db_path) as store:
+            survived = store.all_convoys()
+            assert all(store.bbox_of(c) is not None for c in survived)
+        survived_ids = {convoy_identity(c) for c in survived}
+        matches = [t for t, prefix in prefixes.items()
+                   if survived_ids == set(prefix)]
+        assert matches, (
+            f"store is not a clean tick-prefix: holds "
+            f"{len(survived_ids)} identities"
+        )
+        assert len(survived_ids) >= 3  # the interrupt landed mid-stream

@@ -4,7 +4,10 @@ Pins the sink's three jobs in isolation from the engine: tick-batched
 commits with honest stored/replayed counters, bounding boxes computed
 from exactly the positions the convoy's members reported during its
 interval, and a position log pruned to the tracker's live horizon so
-the sink never changes the pipeline's memory class.
+the sink never changes the pipeline's memory class — plus the
+lifecycle-safety contract: ``close`` is idempotent and a commit that
+fails mid-tick neither drops its batch nor leaves the store's WAL
+transaction dangling.
 """
 
 import pytest
@@ -12,6 +15,7 @@ import pytest
 from repro.core.convoy import Convoy
 from repro.geometry.bbox import BoundingBox
 from repro.store import SQLiteConvoyStore, StoreSink
+from repro.streaming import StreamingConvoyMiner
 
 
 @pytest.fixture
@@ -107,3 +111,117 @@ class TestClose:
         assert store._closed
         with SQLiteConvoyStore(tmp_path / "c.db") as reopened:
             assert reopened.count() == 1
+
+
+class _FlakyStore(SQLiteConvoyStore):
+    """Store whose ``add_batch`` dies mid-transaction ``failures``
+    times — modelling a backend that does *not* clean up after itself
+    (the SQLite one does; a remote one might not)."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.failures = 0
+
+    def add_batch(self, convoys, bboxes=None):
+        if self.failures:
+            self.failures -= 1
+            self._con.execute("BEGIN IMMEDIATE")
+            raise RuntimeError("simulated mid-batch failure")
+        return super().add_batch(convoys, bboxes)
+
+
+class TestLifecycleSafety:
+    def test_close_is_idempotent(self, store):
+        counters = {}
+        sink = StoreSink(store, counters=counters)
+        sink.write([Convoy({"a", "b"}, 0, 2)])
+        sink.close()
+        sink.close()
+        assert store.count() == 1
+        assert counters["stored_convoys"] == 1
+
+    def test_failed_commit_retains_the_batch(self):
+        with _FlakyStore(":memory:") as store:
+            sink = StoreSink(store)
+            sink.write([Convoy({"a", "b"}, 0, 2)])
+            store.failures = 1
+            with pytest.raises(RuntimeError, match="mid-batch"):
+                sink.commit()
+            store.rollback()
+            # Nothing was dropped: the retry persists the same batch.
+            assert sink._pending
+            sink.commit()
+            assert store.count() == 1
+            assert sink._pending == []
+
+    def test_close_after_failed_commit_rolls_back(self):
+        with _FlakyStore(":memory:") as store:
+            sink = StoreSink(store)
+            sink.write([Convoy({"a", "b"}, 0, 2)])
+            store.failures = 1
+            with pytest.raises(RuntimeError, match="mid-batch"):
+                sink.close()
+            # First close re-raised but rolled the store's transaction
+            # back; a second close is a silent no-op.
+            assert not store._con.in_transaction
+            sink.close()
+            store.add(Convoy({"c", "d"}, 1, 3))  # store still usable
+            assert store.count() == 1
+
+    def test_store_rollback_abandons_an_open_batch(self, store):
+        batch = store.batch()
+        batch.__enter__()
+        store.add(Convoy({"a", "b"}, 0, 2))
+        store.rollback()
+        assert not store._con.in_transaction
+        assert store.count() == 0
+        # Non-batch writes work again after the abandoned batch.
+        assert store.add(Convoy({"a", "b"}, 0, 2))
+        assert store.count() == 1
+
+    def test_store_rollback_is_idempotent_and_safe_when_closed(self):
+        store = SQLiteConvoyStore(":memory:")
+        store.rollback()
+        store.rollback()
+        store.close()
+        store.rollback()  # closed store: silent no-op
+
+    def test_store_close_rolls_back_an_abandoned_batch(self, tmp_path):
+        store = SQLiteConvoyStore(tmp_path / "c.db")
+        batch = store.batch()
+        batch.__enter__()
+        store.add(Convoy({"a", "b"}, 0, 2))
+        store.close()  # never COMMITted: must not persist, must not hang
+        with SQLiteConvoyStore(tmp_path / "c.db") as reopened:
+            assert reopened.count() == 0
+
+    def test_miner_double_exit_is_safe(self, tmp_path):
+        miner = StreamingConvoyMiner(2, 2, 1.0, store=tmp_path / "c.db")
+        with miner:
+            for t in range(3):
+                miner.feed(t, {"a": (0.0, 0.0), "b": (0.5, 0.0)})
+            miner.flush()
+        miner.__exit__(None, None, None)  # second exit: no-op, no raise
+        miner.close()
+        with SQLiteConvoyStore(tmp_path / "c.db") as reopened:
+            assert reopened.all_convoys() == [Convoy({"a", "b"}, 0, 2)]
+
+
+class TestCounterIsolation:
+    def test_two_default_sinks_never_share_counters(self, store):
+        with SQLiteConvoyStore(":memory:") as other:
+            first = StoreSink(store)
+            second = StoreSink(other)
+            assert first.counters is not second.counters
+            first.write([Convoy({"a", "b"}, 0, 2)])
+            first.commit()
+            assert first.counters["stored_convoys"] == 1
+            assert second.counters["stored_convoys"] == 0
+
+    def test_two_default_miners_never_share_counters(self):
+        with StreamingConvoyMiner(2, 2, 1.0) as one, \
+                StreamingConvoyMiner(2, 2, 1.0) as two:
+            assert one.counters is not two.counters
+            one.feed(0, {"a": (0.0, 0.0), "b": (0.5, 0.0)})
+            assert one.counters["snapshots"] == 1
+            assert two.counters["snapshots"] == 0

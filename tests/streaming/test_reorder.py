@@ -306,6 +306,95 @@ class TestMinerIntegration:
         assert got == expected
 
 
+class TestReleaseAll:
+    """The idle-drain seam: a capacity-only buffer on a quiescent feed
+    stalls its tail forever (only arrivals force releases), so
+    ``release_all`` must push it through without ending the stream."""
+
+    def test_capacity_only_buffer_stalls_without_arrivals(self):
+        """The bug scenario pinned: fewer than max_pending snapshots sit
+        buffered indefinitely — no watermark will ever release them."""
+        buffer = ReorderBuffer(max_pending=10)
+        for t in range(4):
+            assert buffer.push(t, pair_snapshot(t)) == []
+        assert len(buffer) == 4  # stalled: nothing will ever release these
+
+    def test_release_all_frees_the_stalled_tail_in_order(self):
+        buffer = ReorderBuffer(max_pending=10)
+        for t in (2, 0, 3, 1):
+            buffer.push(t, pair_snapshot(t))
+        released = buffer.release_all()
+        assert [t for t, _ in released] == [0, 1, 2, 3]
+        assert len(buffer) == 0
+
+    def test_buffer_stays_usable_after_release_all(self):
+        buffer = ReorderBuffer(max_pending=3)
+        buffer.push(0, pair_snapshot(0))
+        buffer.release_all()
+        assert buffer.push(5, pair_snapshot(5)) == []
+        assert len(buffer) == 1
+        assert [t for t, _ in buffer.release_all()] == [5]
+
+    def test_released_timestamps_are_closed(self):
+        """Arrivals at or below a released timestamp fall to the late
+        policy, exactly as after a watermark release."""
+        buffer = ReorderBuffer(max_pending=5, late_policy="drop")
+        buffer.push(3, pair_snapshot(3))
+        buffer.release_all()
+        assert buffer.push(2, pair_snapshot(2)) == []
+        assert buffer.counters["late_dropped"] == 1
+
+    def test_empty_release_all_is_a_noop(self):
+        buffer = ReorderBuffer(max_pending=2)
+        assert buffer.release_all() == []
+
+    def test_drain_and_release_all_agree(self):
+        a = ReorderBuffer(max_pending=10)
+        b = ReorderBuffer(max_pending=10)
+        for t in (4, 1, 3):
+            a.push(t, pair_snapshot(t))
+            b.push(t, pair_snapshot(t))
+        assert a.drain() == b.release_all()
+
+    def test_miner_release_pending_mines_the_stalled_tail(self):
+        """The miner-level seam: release_pending ingests the buffered
+        tail mid-stream — same emissions as an in-order feed — and the
+        miner stays live for further feeds."""
+        plain = StreamingConvoyMiner(2, 3, 2.0)
+        emitted_plain = []
+        for t in range(6):
+            emitted_plain.extend(plain.feed(t, pair_snapshot(t)))
+
+        buffered = StreamingConvoyMiner(2, 3, 2.0,
+                                        reorder=dict(max_pending=50))
+        emitted = []
+        for t in range(6):
+            emitted.extend(buffered.feed(t, pair_snapshot(t)))
+        assert emitted == []  # capacity never reached: everything stalled
+        assert buffered.last_time is None
+        emitted.extend(buffered.release_pending())
+        assert buffered.last_time == 5
+        assert emitted == emitted_plain
+        # Still live: the released timestamps are closed, later times feed.
+        emitted_plain.extend(plain.feed(6, pair_snapshot(6)))
+        emitted.extend(buffered.feed(6, pair_snapshot(6)))
+        assert emitted == emitted_plain
+        assert buffered.flush() == plain.flush() == [Convoy({"a", "b"}, 0, 6)]
+
+    def test_miner_release_pending_without_buffer_is_noop(self):
+        miner = StreamingConvoyMiner(2, 3, 2.0)
+        miner.feed(0, pair_snapshot(0))
+        assert miner.release_pending() == []
+        assert miner.last_time == 0
+
+    def test_miner_release_pending_after_flush_raises(self):
+        miner = StreamingConvoyMiner(2, 3, 2.0,
+                                     reorder=dict(max_pending=5))
+        miner.flush()
+        with pytest.raises(RuntimeError, match="already flushed"):
+            miner.release_pending()
+
+
 class TestJitterTicks:
     def test_rejects_negative_jitter(self):
         with pytest.raises(ValueError, match="jitter"):

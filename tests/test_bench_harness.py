@@ -9,6 +9,10 @@ from benchmarks.bench_convoy_store import (
     run_query,
     run_write,
 )
+from benchmarks.bench_service_ingestion import (
+    ROW_KEYS as SERVICE_ROW_KEYS,
+    run_suite as run_service_suite,
+)
 from benchmarks.bench_sharded_scaling import (
     SMOKE_SCALE,
     run_bytes,
@@ -375,3 +379,37 @@ class TestConvoyStoreBenchSchema:
         ]
         for row in loaded["rows"]:
             assert set(row) == self.ROW_KEYS
+
+
+class TestServiceIngestionBenchSchema:
+    """Schema guard for ``BENCH_service_ingestion.json``: the trajectory
+    consumers chart per-tenant rates and latency percentiles keyed on
+    these row fields.  ``run_suite`` itself asserts the backpressure
+    contract (bounded slow-tenant queue, throttled waits observed, fast
+    tenant within 20% of the solo step rate), so this guard re-runs it
+    at smoke scale and pins the row shape around it."""
+
+    def test_rows_round_trip_with_backpressure_asserted(self, tmp_path):
+        rows = run_service_suite(smoke=True)
+        runs = [row["run"] for row in rows]
+        assert runs.count("solo") == 1
+        assert runs.count("backpressure") == 2
+        assert runs.count("fleet") >= 2
+        for row in rows:
+            assert set(row) == SERVICE_ROW_KEYS
+            assert row["snapshots"] > 0
+            for key in ("rate", "step_rate"):
+                value = row[key]
+                assert value is None or (
+                    isinstance(value, float) and math.isfinite(value)
+                )
+        path = tmp_path / "BENCH_service_ingestion.json"
+        write_bench_json(
+            path, "service_ingestion", {"smoke": True}, rows
+        )
+        with open(path) as handle:
+            loaded = json.load(handle)
+        assert loaded["bench"] == "service_ingestion"
+        assert len(loaded["rows"]) == len(rows)
+        for row in loaded["rows"]:
+            assert set(row) == SERVICE_ROW_KEYS

@@ -770,3 +770,23 @@ class TestQuery:
             ["query", str(store_db), "--intersecting", "0:0:5:25"])
         assert code_a == code_b == 0
         assert text_a == text_b
+
+
+class TestServe:
+    def test_rejects_bad_workers(self):
+        code, text = run_cli(["serve", "--workers", "0"])
+        assert code == 2
+        assert "bad --workers value" in text
+
+    def test_rejects_bad_max_queue(self):
+        code, text = run_cli(["serve", "--max-queue", "0"])
+        assert code == 2
+        assert "bad --max-queue value" in text
+
+    def test_stream_rejects_negative_pace(self, convoy_csv):
+        code, text = run_cli(
+            ["stream", str(convoy_csv), "-m", "2", "-k", "3", "-e", "2.0",
+             "--pace", "-0.5"]
+        )
+        assert code == 2
+        assert "bad --pace value" in text
