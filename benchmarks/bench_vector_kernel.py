@@ -79,17 +79,27 @@ def run_dbscan(snapshots, _clusters, backend):
     return emitted, time.perf_counter() - started
 
 
-def run_incremental(ticks, backend):
-    """Full incremental pipeline on a churn stream (delta + matching)."""
+def run_incremental(ticks, backend, match_kernel=None, warmup=0):
+    """Full incremental pipeline on a churn stream (delta + matching).
+
+    ``warmup`` leading ticks are fed but not timed — the dispatch
+    comparison excludes the auto kernel's exploration probes the same
+    way ``bench_match_kernel.py`` does, so it measures the settled
+    policy rather than the cold start.
+    """
     miner = StreamingConvoyMiner(
         M, K, EPS, clusterer="incremental", backend=backend,
+        match_kernel=match_kernel,
     )
     emitted = []
-    started = time.perf_counter()
-    for t, snapshot in ticks:
+    seconds = 0.0
+    for i, (t, snapshot) in enumerate(ticks):
+        started = time.perf_counter()
         emitted.append(miner.feed(t, snapshot))
+        if i >= warmup:
+            seconds += time.perf_counter() - started
     emitted.append(miner.flush())
-    return emitted, time.perf_counter() - started
+    return emitted, seconds
 
 
 def compare_backends(workload, runner, n_snapshots):
@@ -111,6 +121,7 @@ def compare_backends(workload, runner, n_snapshots):
         "python_seconds": python_seconds,
         "vector_seconds": vector_seconds,
         "convoys": sum(len(batch) for batch in python_emitted),
+        "dispatch": None,
     }
 
 
@@ -139,6 +150,29 @@ def run_all(smoke):
             len(ticks),
         ),
     ]
+    # The incremental row is the small-delta regime where the batched
+    # vector join loses (the historical 0.83x): re-run it under the
+    # auto kernel dispatcher and record the ratio.  The dispatcher
+    # settles on the scalar kernel here; the residual loss it cannot
+    # recover is the vector backend's delta-patching overhead, which no
+    # match-kernel choice touches — the clean kernel-policy comparison
+    # (same backend, kernels only) is bench_match_kernel's small-delta
+    # regime, asserted at >=0.95x there.  Both sides of this ratio
+    # exclude the same warmup window so the dispatcher's one-time
+    # exploration probes are not billed to the settled policy.
+    warmup = min(8, len(ticks) // 2)
+    _, python_warm = run_incremental(ticks, "python", warmup=warmup)
+    auto_emitted, auto_warm = run_incremental(
+        ticks, "vector", "auto", warmup=warmup
+    )
+    incremental = rows[-1]
+    assert (
+        sum(len(batch) for batch in auto_emitted)
+        == incremental["convoys"]
+    ), "auto dispatch diverged on the incremental workload"
+    incremental["dispatch"] = (
+        python_warm / auto_warm if auto_warm > 0 else None
+    )
     return scale, churn_scale, rows
 
 

@@ -131,9 +131,18 @@ The flag is off by default so the unsharded hot path records nothing.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 
 from repro.clustering.incremental import UNCHANGED
-from repro.clustering.numeric import match_candidates_vector, validate_backend
+from repro.clustering.numeric import (
+    KernelDispatch,
+    MatchPlanStats,
+    match_candidates_bitset,
+    match_candidates_merge,
+    match_candidates_vector,
+    validate_backend,
+    validate_match_kernel,
+)
 from repro.core.convoy import Convoy
 
 #: Counter keys a tracker maintains in its ``counters`` dict.
@@ -176,16 +185,71 @@ def match_candidates(members, jobs, min_objects):
     return out
 
 
-def resolve_match_kernel(backend):
-    """Map a numeric backend name to its matching kernel.
+#: The fixed (per-tick-stateless) match kernels by name; ``auto`` is
+#: deliberately absent — it is a per-tick *policy* over these three,
+#: resolved by the tracker's :class:`~repro.clustering.numeric.
+#: KernelDispatch` before any kernel name ships to a shard.
+FIXED_MATCH_KERNELS = {
+    "scalar": match_candidates,
+    "merge": match_candidates_merge,
+    "bitset": match_candidates_bitset,
+}
+
+
+def resolve_match_kernel(backend, kernel=None):
+    """Map a numeric backend (plus optional kernel name) to its kernel.
 
     Module-level (hence picklable by reference): shard workers resolve
-    the kernel from the backend *name* shipped in their task, so the
-    task payload stays a plain data tuple.
+    the kernel from the backend and kernel *names* shipped in their
+    task, so the task payload stays a plain data tuple.  With ``kernel``
+    None the backend decides (``"python"`` → the scalar kernel,
+    ``"vector"`` → the owner-join batch kernel); a fixed kernel name
+    (``"scalar"`` / ``"merge"`` / ``"bitset"``) overrides the backend.
+    Unknown names raise a :class:`ValueError` listing the valid choices
+    — never a bare :class:`KeyError` — and ``"auto"`` is rejected here
+    because dispatch is stateful and resolves per tick in the tracker.
     """
+    kernel = validate_match_kernel(kernel)
+    if kernel == "auto":
+        raise ValueError(
+            "auto dispatch resolves per tick inside the tracker; "
+            "resolve_match_kernel accepts only the fixed kernels "
+            f"{tuple(FIXED_MATCH_KERNELS)} or None"
+        )
+    if kernel is not None:
+        return FIXED_MATCH_KERNELS[kernel]
     if validate_backend(backend) == "vector":
         return match_candidates_vector
     return match_candidates
+
+
+def match_plan_stats(members, jobs):
+    """Measure one tick's match-join shape for the kernel dispatcher.
+
+    Computed by the plan pass (over the very jobs list it just built)
+    before any kernel runs: job/cluster/pair counts, total candidate and
+    member id volume, per-scan candidate-id volume, and the candidate
+    population bound.  Deliberately O(jobs + clusters) — only ``len()``
+    arithmetic, no per-object work — so the measuring pass costs nothing
+    next to even the cheapest kernel on a tiny tick.  ``population`` is
+    therefore the *total* job id count, an upper bound on the bitset
+    remap width that is exact when candidates are disjoint; the
+    dispatcher's cost fit only needs the feature to scale consistently.
+    See :class:`~repro.clustering.numeric.MatchPlanStats`.
+    """
+    n_clusters = len(members)
+    member_ids = sum(len(cluster) for cluster in members)
+    pairs = job_ids = scan_ids = 0
+    for _pos, objects, scan in jobs:
+        size = len(objects)
+        fan = n_clusters if scan is None else len(scan)
+        pairs += fan
+        job_ids += size
+        scan_ids += fan * size
+    return MatchPlanStats(
+        jobs=len(jobs), clusters=n_clusters, pairs=pairs, job_ids=job_ids,
+        member_ids=member_ids, scan_ids=scan_ids, population=job_ids,
+    )
 
 
 @dataclass(frozen=True)
@@ -283,6 +347,15 @@ class CandidateTracker:
             :func:`~repro.clustering.numeric.match_candidates_vector`.
             Both produce identical matches, so the tracker's output is
             bit-for-bit the same either way.
+        match_kernel: optional match-kernel override — one of
+            :data:`~repro.clustering.numeric.MATCH_KERNELS`.  A fixed
+            name (``"scalar"`` / ``"merge"`` / ``"bitset"``) pins that
+            kernel regardless of backend; ``"auto"`` lets a
+            :class:`~repro.clustering.numeric.KernelDispatch` pick per
+            tick from the plan pass's measured join shape (and counts
+            its choices in ``dispatch_scalar`` / ``dispatch_merge`` /
+            ``dispatch_bitset``).  Every kernel produces identical
+            matches, so this knob only moves time, never output.
 
     Usage: call :meth:`advance` (or, with cluster diffs available,
     :meth:`advance_delta`) once per time step (or partition) with the
@@ -291,9 +364,17 @@ class CandidateTracker:
     """
 
     def __init__(self, min_objects, min_lifetime, paper_semantics=False,
-                 counters=None, backend="python"):
+                 counters=None, backend="python", match_kernel=None):
         self._numeric_backend = validate_backend(backend)
-        self._kernel = resolve_match_kernel(self._numeric_backend)
+        self._match_kernel = validate_match_kernel(match_kernel)
+        if self._match_kernel == "auto":
+            self._dispatch = KernelDispatch()
+            self._kernel = None
+        else:
+            self._dispatch = None
+            self._kernel = resolve_match_kernel(
+                self._numeric_backend, self._match_kernel
+            )
         if min_objects < 1:
             raise ValueError(f"m must be >= 1, got {min_objects}")
         if min_lifetime < 1:
@@ -311,6 +392,9 @@ class CandidateTracker:
         self.counters = counters if counters is not None else {}
         for key in COUNTER_KEYS:
             self.counters.setdefault(key, 0)
+        if self._dispatch is not None:
+            for name in KernelDispatch.KERNELS:
+                self.counters.setdefault(f"dispatch_{name}", 0)
 
     def _begin_step(self, window_start, window_end):
         """Validate one step's window against the step-ordering contract."""
@@ -360,7 +444,15 @@ class CandidateTracker:
         executor backends; result order is irrelevant (the caller keys by
         position), so any merge of the per-shard outputs is legal.
         """
-        return self._kernel(members, jobs, self._m)
+        if self._dispatch is None:
+            return self._kernel(members, jobs, self._m)
+        stats = match_plan_stats(members, jobs)
+        name = self._dispatch.choose(stats)
+        self.counters[f"dispatch_{name}"] += 1
+        started = perf_counter()
+        out = FIXED_MATCH_KERNELS[name](members, jobs, self._m)
+        self._dispatch.observe(name, stats, perf_counter() - started)
+        return out
 
     def advance(self, clusters, window_start, window_end):
         """Process one time step covering ``[window_start, window_end]``.

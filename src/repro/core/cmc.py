@@ -27,7 +27,7 @@ from repro.streaming.engine import StreamingConvoyMiner
 
 def cmc(database, m, k, eps, time_range=None, counters=None,
         paper_semantics=False, allowed_at=None, clusterer=None,
-        backend=None, store=None):
+        backend=None, store=None, match_kernel=None):
     """Run the CMC convoy-discovery algorithm.
 
     Args:
@@ -73,6 +73,12 @@ def cmc(database, m, k, eps, time_range=None, counters=None,
             bounding box) as the batch sweep closes it, idempotent on
             convoy identity, so re-running a batch over the same data
             adds nothing.  The returned list is unchanged.
+        match_kernel: optional match-kernel override for the candidate
+            step, forwarded to the miner — one of
+            :data:`~repro.clustering.numeric.MATCH_KERNELS`
+            (``"auto"`` / ``"scalar"`` / ``"merge"`` / ``"bitset"``);
+            ``None`` (default) follows ``backend``.  Identical answer
+            either way, only the per-snapshot matching cost moves.
 
     Returns:
         List of :class:`repro.core.convoy.Convoy`, in discovery order.
@@ -106,6 +112,7 @@ def cmc(database, m, k, eps, time_range=None, counters=None,
     miner = StreamingConvoyMiner(
         m, k, eps, paper_semantics=paper_semantics, counters=counters,
         clusterer=clusterer, backend=backend, store=store,
+        match_kernel=match_kernel,
     )
     results = []
     # The context manager releases a path-opened store (and any pooled

@@ -70,6 +70,8 @@ from repro.streaming.reorder import (
 from repro.streaming.sharding import ShardedCandidateTracker, rendezvous_shard
 from repro.streaming.source import (
     churn_stream,
+    hotspot_drift_scenario,
+    hotspot_drift_stream,
     jitter_ticks,
     replay_csv,
     replay_database,
@@ -97,6 +99,8 @@ __all__ = [
     "TrackStage",
     "WatermarkFrontier",
     "churn_stream",
+    "hotspot_drift_scenario",
+    "hotspot_drift_stream",
     "jitter_ticks",
     "mine_stream",
     "rendezvous_shard",

@@ -19,6 +19,13 @@ adapters cover the workloads:
   tick, the rest stand perfectly still.  This is the GPS-fleet regime the
   incremental clusterer targets, and the workload knob of
   ``benchmarks/bench_incremental_clustering.py``.
+* :func:`hotspot_drift_stream` (and its cluster-labelled twin
+  :func:`hotspot_drift_scenario`) — a seeded generator where most objects
+  ride in rigid packs around hotspot centers that *drift* across the
+  world, bouncing off its walls.  Every pack is a persistent dense
+  cluster with a large, stable membership — the dense-candidate regime
+  of ``benchmarks/bench_match_kernel.py`` and the first slice of the
+  million-object scenario harness (ROADMAP item 5).
 
 Both generators additionally accept ``jitter=``: a seeded bounded shuffle
 (:func:`jitter_ticks`) that emits the same ticks realistically out of
@@ -257,6 +264,141 @@ def synthetic_stream(n_objects, n_snapshots, seed=0, *, eps=10.0,
         for i, walker in enumerate(loners):
             snapshot[ids[grouped + i]] = (walker.x, walker.y)
         yield t_start + tick, snapshot
+
+
+def hotspot_drift_scenario(n_objects, n_snapshots, seed=0, *, eps=10.0,
+                           hotspots=8, background=0.2, drift=None,
+                           area=None, t_start=0):
+    """Generate a hotspot-drift stream *with* its planted cluster labels.
+
+    Most objects ride in rigid packs: each pack's members sit at fixed
+    offsets within ``eps / 4`` of a hotspot center, so the pack is
+    density-connected at every tick, and the center drifts with a
+    constant-speed velocity that reflects off the world's walls.  The
+    remaining ``background`` fraction are independent random-waypoint
+    walkers.  Pack membership never changes, which is what makes this the
+    dense-candidate regime: every tick joins the same large candidate
+    sets against the same large clusters, so the per-pair intersection
+    cost — not clustering or churn bookkeeping — dominates.
+
+    This is the first slice of the million-object scenario harness
+    (ROADMAP item 5): state is advanced incrementally in O(n_objects)
+    memory, and the stream is a pure function of its arguments.  The
+    labelled form exists so benches can replay the planted packs as the
+    per-tick clustering and measure the candidate-match kernels alone;
+    :func:`hotspot_drift_stream` yields the plain ``(t, snapshot)`` view.
+
+    Args:
+        n_objects: objects per snapshot.
+        n_snapshots: number of ticks to yield.
+        seed: RNG seed.
+        eps: the distance threshold the packs are tuned for (pack radius
+            ``eps / 4``, so any two members sit within ``eps``).
+        hotspots: number of drifting pack centers (``>= 1``).
+        background: fraction of objects walking independently, in
+            ``[0, 1]``; the rest split round-robin across the packs.
+        drift: center speed per tick (default ``eps / 4``).
+        area: world side length (default ``40 * eps``).
+        t_start: time of the first snapshot.
+
+    Yields:
+        ``(t, {object_id: (x, y)}, groups)`` with ids ``"h0" ...`` and
+        ``groups`` a tuple of frozensets — the non-empty packs, fixed for
+        the whole stream (background walkers belong to no group).
+    """
+    if n_objects < 1:
+        raise ValueError(f"n_objects must be >= 1, got {n_objects}")
+    if n_snapshots < 1:
+        raise ValueError(f"n_snapshots must be >= 1, got {n_snapshots}")
+    if int(hotspots) < 1:
+        raise ValueError(f"hotspots must be >= 1, got {hotspots}")
+    if not 0.0 <= background <= 1.0:
+        raise ValueError(f"background must be in [0, 1], got {background}")
+    rng = random.Random(seed)
+    hotspots = int(hotspots)
+    if area is None:
+        area = 40.0 * eps
+    if drift is None:
+        drift = eps / 4.0
+    packed = n_objects - round(background * n_objects)
+    ids = [f"h{i}" for i in range(n_objects)]
+    # Centers spawn away from the walls so a tight pack never starts
+    # clipped; velocities reflect off the walls, so they stay legal.
+    margin = min(eps, area / 2.0)
+    centers = []  # [x, y, vx, vy] per hotspot
+    for _ in range(hotspots):
+        angle = rng.uniform(0.0, 2.0 * math.pi)
+        centers.append([
+            rng.uniform(margin, area - margin),
+            rng.uniform(margin, area - margin),
+            drift * math.cos(angle),
+            drift * math.sin(angle),
+        ])
+    tight = eps / 4.0
+    offsets = []  # parallel to ids[:packed]
+    members = [[] for _ in range(hotspots)]
+    for i in range(packed):
+        angle = rng.uniform(0.0, 2.0 * math.pi)
+        radius = math.sqrt(rng.random()) * tight
+        offsets.append((radius * math.cos(angle),
+                        radius * math.sin(angle)))
+        members[i % hotspots].append(ids[i])
+    groups = tuple(frozenset(pack) for pack in members if pack)
+    walkers = [_Walker(rng, area) for _ in range(n_objects - packed)]
+    for tick in range(n_snapshots):
+        if tick:
+            for center in centers:
+                for axis in (0, 1):
+                    center[axis] += center[axis + 2]
+                    # Reflect drift off the walls: fold the overshoot
+                    # back inside and reverse that axis's velocity.
+                    if center[axis] < 0.0:
+                        center[axis] = -center[axis]
+                        center[axis + 2] = -center[axis + 2]
+                    elif center[axis] > area:
+                        center[axis] = 2.0 * area - center[axis]
+                        center[axis + 2] = -center[axis + 2]
+            for walker in walkers:
+                walker.step(rng, area, drift)
+        snapshot = {}
+        for i in range(packed):
+            center = centers[i % hotspots]
+            ox, oy = offsets[i]
+            snapshot[ids[i]] = (center[0] + ox, center[1] + oy)
+        for i, walker in enumerate(walkers):
+            snapshot[ids[packed + i]] = (walker.x, walker.y)
+        yield t_start + tick, snapshot, groups
+
+
+def hotspot_drift_stream(n_objects, n_snapshots, seed=0, *, eps=10.0,
+                         hotspots=8, background=0.2, drift=None, area=None,
+                         t_start=0, jitter=0, jitter_seed=None):
+    """Generate a seeded hotspot-drift snapshot stream.
+
+    The plain ``(t, snapshot)`` view of :func:`hotspot_drift_scenario`
+    (see there for the workload's shape and arguments); additionally
+    accepts ``jitter`` / ``jitter_seed`` to emit the same ticks out of
+    order through :func:`jitter_ticks`, exactly like the other
+    generators here.
+
+    Yields:
+        ``(t, {object_id: (x, y)})`` with ids ``"h0" .. "h{n-1}"``.
+    """
+    if jitter:
+        yield from jitter_ticks(
+            hotspot_drift_stream(
+                n_objects, n_snapshots, seed, eps=eps, hotspots=hotspots,
+                background=background, drift=drift, area=area,
+                t_start=t_start,
+            ),
+            jitter,
+            seed=jitter_seed if jitter_seed is not None else seed,
+        )
+        return
+    for t, snapshot, _groups in hotspot_drift_scenario(
+            n_objects, n_snapshots, seed, eps=eps, hotspots=hotspots,
+            background=background, drift=drift, area=area, t_start=t_start):
+        yield t, snapshot
 
 
 def churn_stream(n_objects, n_snapshots, seed=0, *, eps=10.0, churn=0.1,

@@ -18,9 +18,16 @@ from benchmarks.bench_sharded_scaling import (
     run_bytes,
     run_grid,
 )
+from benchmarks.bench_match_kernel import (
+    KERNELS as MATCH_KERNEL_ORDER,
+    SMOKE_SMALL,
+    make_small_workload,
+    run_regime,
+)
 from benchmarks.bench_vector_kernel import run_all
 from benchmarks.common import safe_rate, write_bench_json
 from repro.bench import PhaseTimer, format_series, format_table, time_call
+from repro.streaming import StreamingConvoyMiner
 
 
 class TestPhaseTimer:
@@ -211,7 +218,7 @@ class TestVectorKernelBenchSchema:
 
     ROW_KEYS = {
         "workload", "snapshots", "python_rate", "vector_rate", "speedup",
-        "python_seconds", "vector_seconds", "convoys",
+        "python_seconds", "vector_seconds", "convoys", "dispatch",
     }
 
     def test_rows_are_stable_and_finite(self, tmp_path):
@@ -227,10 +234,71 @@ class TestVectorKernelBenchSchema:
                 assert value is None or (
                     isinstance(value, float) and math.isfinite(value)
                 )
+        # only the incremental (small-delta) row is re-run under the
+        # auto dispatcher; the batch workloads keep the None marker.
+        assert rows[0]["dispatch"] is None
+        assert rows[1]["dispatch"] is None
+        dispatch = rows[2]["dispatch"]
+        assert dispatch is None or (
+            isinstance(dispatch, float) and math.isfinite(dispatch)
+        )
         path = tmp_path / "BENCH_vector_kernel.json"
         write_bench_json(path, "vector_kernel", {"smoke": True}, rows)
         loaded = json.load(open(path))
         assert loaded["bench"] == "vector_kernel"
+        assert set(loaded["rows"][0]) == self.ROW_KEYS
+
+
+class TestMatchKernelBenchSchema:
+    """Schema guard for ``BENCH_match_kernel.json``: the trajectory
+    consumers chart per-kernel rates and dispatch mixes keyed on these
+    row fields, so the bench's row shape is pinned here alongside the
+    writer's envelope."""
+
+    ROW_KEYS = {
+        "regime", "kernel", "snapshots", "seconds", "rate", "convoys",
+        "dispatch_ticks",
+    }
+
+    def rows(self):
+        # A tiny churn workload keeps this a schema test, not a bench;
+        # run_regime still times all four kernels and asserts their
+        # emissions identical.
+        scale = dict(SMOKE_SMALL, n_objects=40, n_snapshots=6, warmup=2)
+        ticks = make_small_workload(scale)
+
+        def miner(kernel):
+            return StreamingConvoyMiner(
+                3, 2, 10.0, clusterer="incremental", match_kernel=kernel
+            )
+
+        return run_regime("schema", miner, ticks, scale["warmup"], reps=1)
+
+    def test_rows_are_stable_and_finite(self, tmp_path):
+        rows = self.rows()
+        assert [row["kernel"] for row in rows] == list(MATCH_KERNEL_ORDER)
+        for row in rows:
+            assert set(row) == self.ROW_KEYS
+            assert row["regime"] == "schema"
+            assert row["snapshots"] > 0
+            assert row["seconds"] >= 0
+            rate = row["rate"]
+            assert rate is None or (
+                isinstance(rate, float) and math.isfinite(rate)
+            )
+        # fixed kernels carry no dispatch mix; auto counts every kernel.
+        for row in rows[:-1]:
+            assert row["dispatch_ticks"] is None
+        auto = rows[-1]
+        assert auto["kernel"] == "auto"
+        assert set(auto["dispatch_ticks"]) == {"scalar", "merge", "bitset"}
+        assert all(
+            count >= 0 for count in auto["dispatch_ticks"].values()
+        )
+        path = tmp_path / "BENCH_match_kernel.json"
+        write_bench_json(path, "match_kernel", {"smoke": True}, rows)
+        loaded = json.load(open(path))
+        assert loaded["bench"] == "match_kernel"
         assert set(loaded["rows"][0]) == self.ROW_KEYS
 
 
